@@ -1,0 +1,1 @@
+bench/exp_demux.ml: Engine Host List Pf_filter Pf_kernel Pf_net Pf_pkt Pf_sim Printf Util

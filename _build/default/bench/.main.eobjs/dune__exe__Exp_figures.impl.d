@@ -1,0 +1,1 @@
+bench/exp_figures.ml: Engine Host List Pf_filter Pf_kernel Pf_pkt Pf_proto Pf_sim Printf String Util

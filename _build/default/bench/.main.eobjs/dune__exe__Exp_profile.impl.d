@@ -1,0 +1,1 @@
+bench/exp_profile.ml: Arp Engine Frame Host Int32 Ipstack Ipv4 List Pf_filter Pf_kernel Pf_net Pf_pkt Pf_proto Pf_sim Printf String Udp Util

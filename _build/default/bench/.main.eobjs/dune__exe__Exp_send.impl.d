@@ -1,0 +1,1 @@
+bench/exp_send.ml: Frame Host Ipstack Ipv4 Pf_kernel Pf_pkt Pf_proto String Udp Util

@@ -1,0 +1,1 @@
+bench/exp_stream.ml: Bsp Engine Host Ipstack Ipv4 Pf_pkt Pf_proto Pf_sim Printf Pup Pup_socket String Tcp Util

@@ -1,0 +1,1 @@
+bench/exp_telnet.ml: Bsp Engine Host Ipstack Ipv4 Pf_proto Pf_sim Pup Pup_socket Tcp Telnet Util

@@ -1,0 +1,1 @@
+bench/exp_vmtp.ml: Exp_stream Frame Hashtbl Host Int32 Pf_filter Pf_kernel Pf_net Pf_pkt Pf_proto Pf_sim Printf String Util Vmtp

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_demux Exp_figures Exp_profile Exp_send Exp_stream Exp_telnet Exp_vmtp List Printf Sys

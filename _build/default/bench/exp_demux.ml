@@ -1,0 +1,263 @@
+(* Tables 6-8, 6-9, 6-10 and the §6.5.3 break-even analysis.
+
+   Table 6-8 is a latency measurement: lightly-paced packets, elapsed time
+   from arrival on the wire to delivery into the final receiving process
+   (kernel demultiplexing straight to the destination, versus a
+   demultiplexing process forwarding over a pipe).
+
+   Tables 6-9 and 6-10 are sustained-rate measurements: a (cost-free)
+   sender saturates the receiver and we report the per-packet period at the
+   final process, with batched reads. *)
+
+open Util
+module Pfdev = Pf_kernel.Pfdev
+module Pipe = Pf_kernel.Pipe
+module Userdemux = Pf_kernel.Userdemux
+module Process = Pf_sim.Process
+module Packet = Pf_pkt.Packet
+
+let socket = 35l
+let free_sender = Pf_sim.Costs.free
+
+let wire_us world ~size = Pf_net.Link.serialization_time world.link ~bytes:size + 50
+
+let spawn_sender world ~size ~gap_us ~n ~arrivals =
+  let port = Pfdev.open_port (Host.pf world.a) in
+  let frame =
+    sized_frame ~src:(Host.addr world.a) ~dst:(Host.addr world.b) ~socket ~total:size
+  in
+  let wire = wire_us world ~size in
+  ignore
+    (Host.spawn world.a ~name:"sender" (fun () ->
+         for _ = 1 to n do
+           Pfdev.write port frame;
+           (* the sender is cost-free, so writes complete instantly *)
+           arrivals := (Engine.now world.engine + wire) :: !arrivals;
+           Process.pause gap_us
+         done))
+
+(* {1 Latency (table 6-8)} *)
+
+let mean_latency deliveries arrivals =
+  let ds = List.rev deliveries and ar = List.rev arrivals in
+  let pairs = List.combine ds ar in
+  let sum = List.fold_left (fun acc (d, a) -> acc + (d - a)) 0 pairs in
+  float_of_int sum /. float_of_int (List.length pairs)
+
+let kernel_latency_us ~size =
+  let world = dix_world ~costs_a:free_sender () in
+  let n = 60 in
+  let port = Pfdev.open_port (Host.pf world.b) in
+  set_filter_exn port Pf_filter.Predicates.accept_all;
+  Pfdev.set_timeout port (Some 100_000);
+  let deliveries = ref [] and arrivals = ref [] in
+  ignore
+    (Host.spawn world.b ~name:"receiver" (fun () ->
+         let continue = ref true in
+         while !continue do
+           match Pfdev.read port with
+           | Some _ -> deliveries := Engine.now world.engine :: !deliveries
+           | None -> continue := false
+         done));
+  spawn_sender world ~size ~gap_us:15_000 ~n ~arrivals;
+  Engine.run world.engine;
+  mean_latency !deliveries !arrivals
+
+let user_latency_us ~size =
+  let world = dix_world ~costs_a:free_sender () in
+  let n = 60 in
+  let demux = Userdemux.start world.b ~route:(fun _ -> Some 0) ~clients:1 () in
+  let pipe = Userdemux.client_pipe demux 0 in
+  let deliveries = ref [] and arrivals = ref [] in
+  ignore
+    (Host.spawn world.b ~name:"destination" (fun () ->
+         let continue = ref true in
+         while !continue do
+           match Pipe.read ~timeout:100_000 pipe with
+           | Some _ -> deliveries := Engine.now world.engine :: !deliveries
+           | None -> continue := false
+         done));
+  spawn_sender world ~size ~gap_us:25_000 ~n ~arrivals;
+  Engine.run world.engine;
+  Userdemux.stop demux;
+  Engine.run world.engine;
+  mean_latency !deliveries !arrivals
+
+(* {1 Sustained rate (tables 6-9 and 6-10)} *)
+
+let kernel_saturated_us ~size ?(filter_length = 0) () =
+  let world = dix_world ~costs_a:free_sender () in
+  let n = 150 in
+  let port = Pfdev.open_port (Host.pf world.b) in
+  let filter =
+    if filter_length = 0 then Pf_filter.Predicates.accept_all
+    else Pf_filter.Predicates.synthetic ~length:filter_length ~accept:true
+  in
+  set_filter_exn port filter;
+  Pfdev.set_queue_limit port 500;
+  Pfdev.set_timeout port (Some 100_000);
+  let count = ref 0 and t0 = ref 0 and t1 = ref 0 in
+  ignore
+    (Host.spawn world.b ~name:"receiver" (fun () ->
+         let continue = ref true in
+         while !continue do
+           match Pfdev.read_batch port with
+           | [] -> continue := false
+           | captures ->
+             List.iter
+               (fun _ ->
+                 incr count;
+                 if !count = 1 then t0 := Engine.now world.engine;
+                 t1 := Engine.now world.engine)
+               captures
+         done));
+  spawn_sender world ~size ~gap_us:1_000 ~n ~arrivals:(ref []);
+  Engine.run world.engine;
+  if !count < n then failwith (Printf.sprintf "kernel saturated: %d/%d" !count n);
+  float_of_int (!t1 - !t0) /. float_of_int (!count - 1)
+
+let user_saturated_us ~size =
+  let world = dix_world ~costs_a:free_sender () in
+  let n = 150 in
+  let demux =
+    Userdemux.start world.b ~batch:true ~queue_limit:500 ~route:(fun _ -> Some 0)
+      ~clients:1 ()
+  in
+  let pipe = Userdemux.client_pipe demux 0 in
+  let count = ref 0 and t0 = ref 0 and t1 = ref 0 in
+  ignore
+    (Host.spawn world.b ~name:"destination" (fun () ->
+         let continue = ref true in
+         while !continue do
+           match Pipe.read ~timeout:1_000_000 pipe with
+           | Some _ ->
+             incr count;
+             if !count = 1 then t0 := Engine.now world.engine;
+             t1 := Engine.now world.engine
+           | None -> continue := false
+         done));
+  spawn_sender world ~size ~gap_us:3_000 ~n ~arrivals:(ref []);
+  Engine.run world.engine;
+  Userdemux.stop demux;
+  Engine.run world.engine;
+  if !count < n then failwith (Printf.sprintf "user saturated: %d/%d" !count n);
+  float_of_int (!t1 - !t0) /. float_of_int (!count - 1)
+
+(* {1 The tables} *)
+
+let run_tables_68_69 () =
+  let k128 = kernel_latency_us ~size:128 in
+  let k1500 = kernel_latency_us ~size:1500 in
+  let u128 = user_latency_us ~size:128 in
+  let u1500 = user_latency_us ~size:1500 in
+  print_table ~title:"Table 6-8: Per-packet cost of user-level demultiplexing"
+    [
+      { metric = "128B, demux in kernel"; paper = "2.3 mSec"; ours = ms2 (k128 /. 1000.) };
+      { metric = "128B, demux in user process"; paper = "5.0 mSec"; ours = ms2 (u128 /. 1000.) };
+      { metric = "1500B, demux in kernel"; paper = "4.0 mSec"; ours = ms2 (k1500 /. 1000.) };
+      { metric = "1500B, demux in user process"; paper = "9.0 mSec"; ours = ms2 (u1500 /. 1000.) };
+    ];
+  let kb128 = kernel_saturated_us ~size:128 () in
+  let kb1500 = kernel_saturated_us ~size:1500 () in
+  let ub128 = user_saturated_us ~size:128 in
+  let ub1500 = user_saturated_us ~size:1500 in
+  print_table
+    ~title:"Table 6-9: ...with received-packet batching (sustained rate)"
+    ~note:
+      "note: batching amortizes the per-packet system call and context\n\
+       switch, which were most of the user-process penalty; the paper's\n\
+       128B row (2.4 / 1.9) even has the user process winning."
+    [
+      { metric = "128B, demux in kernel"; paper = "2.4 mSec"; ours = ms2 (kb128 /. 1000.) };
+      { metric = "128B, demux in user process"; paper = "1.9 mSec"; ours = ms2 (ub128 /. 1000.) };
+      { metric = "1500B, demux in kernel"; paper = "3.5 mSec"; ours = ms2 (kb1500 /. 1000.) };
+      { metric = "1500B, demux in user process"; paper = "5.9 mSec"; ours = ms2 (ub1500 /. 1000.) };
+    ];
+  (k128, u128)
+
+let run_table_610 () =
+  let lengths = [ 0; 1; 9; 21 ] in
+  let paper = [ "1.9 mSec"; "2.0 mSec"; "2.2 mSec"; "2.5 mSec" ] in
+  let ours =
+    List.map (fun len -> kernel_saturated_us ~size:128 ~filter_length:len ()) lengths
+  in
+  print_table ~title:"Table 6-10: Cost of interpreting packet filters (128B, batching)"
+    ~note:
+      (let slope = (List.nth ours 3 -. List.nth ours 0) /. 21. in
+       Printf.sprintf
+         "slope: paper (2.5-1.9)/21 = 29 uSec/instruction; ours %.0f uSec/instruction."
+         slope)
+    (List.map2
+       (fun (len, p) us ->
+         { metric = Printf.sprintf "filter length %d instructions" len;
+           paper = p;
+           ours = ms2 (us /. 1000.);
+         })
+       (List.combine lengths paper)
+       ours)
+
+(* §6.5.3: how many filters can the kernel interpret before user-level
+   demultiplexing (with free decision-making) would have been cheaper?
+   Computed from the measured per-packet costs and the cost model, exactly
+   as the paper argues. *)
+let run_breakeven ~k128 ~u128 =
+  let c = Pf_sim.Costs.microvax_ii in
+  let headroom = u128 -. k128 in
+  let long_filter_cost =
+    (* a 21-instruction filter with no short-circuit exit, fully evaluated *)
+    float_of_int (c.Pf_sim.Costs.filter_apply + (21 * c.Pf_sim.Costs.filter_insn))
+  in
+  let sc_filter_cost =
+    (* a figure 3-9-style filter that exits after a couple of CAND pairs:
+       about 4 instructions interpreted on average before the mismatch *)
+    float_of_int (c.Pf_sim.Costs.filter_apply + (4 * c.Pf_sim.Costs.filter_insn))
+  in
+  let breakeven_long = headroom /. long_filter_cost in
+  let breakeven_sc = headroom /. sc_filter_cost in
+  print_table ~title:"§6.5.3: Break-even filter counts (128B packets)"
+    ~note:
+      "note: \"even with rather long filters (21 instructions) the additional\n\
+       cost ... is less than the cost of user-level demultiplexing if no\n\
+       more than three such long filters are applied\"; short-circuit\n\
+       filters push the break-even towards ~10 applied / 20+ active."
+    [
+      { metric = "user-demux extra cost"; paper = "2.7 mSec";
+        ours = ms2 (headroom /. 1000.) };
+      { metric = "21-insn filters before break-even"; paper = "~3";
+        ours = Printf.sprintf "%.1f" breakeven_long };
+      { metric = "short-circuit filters before break-even"; paper = "~10";
+        ours = Printf.sprintf "%.1f" breakeven_sc };
+    ]
+
+(* The §6.5 summary as a curve: per-packet receive cost against the number
+   of filters applied before acceptance, versus the flat user-level demux
+   line — "this advantage disappears only if a very large number of
+   processes are receiving packets". *)
+let run_breakeven_sweep ~k128 ~u128 =
+  let c = Pf_sim.Costs.microvax_ii in
+  let cost_with ~insns_per_filter n =
+    k128 +. (float_of_int n
+             *. float_of_int (c.Pf_sim.Costs.filter_apply
+                              + (insns_per_filter * c.Pf_sim.Costs.filter_insn)))
+  in
+  Printf.printf
+    "\n§6.5 sweep: per-packet cost vs filters applied before acceptance (128B)\n";
+  Printf.printf "%-10s %16s %18s %14s\n" "#applied" "21-insn filters" "short-circuit(4)"
+    "user demux";
+  List.iter
+    (fun n ->
+      Printf.printf "%-10d %13.2fms %15.2fms %11.2fms%s\n" n
+        (cost_with ~insns_per_filter:21 n /. 1000.)
+        (cost_with ~insns_per_filter:4 n /. 1000.)
+        (u128 /. 1000.)
+        (if cost_with ~insns_per_filter:21 n > u128 then "   <- long filters lose" else ""))
+    [ 1; 2; 4; 8; 16; 24; 32 ];
+  Printf.printf
+    "(\"kernel demultiplexing performs significantly better ... this advantage\n\
+     disappears only if a very large number of processes are receiving packets\")\n"
+
+let run () =
+  let k128, u128 = run_tables_68_69 () in
+  run_table_610 ();
+  run_breakeven ~k128 ~u128;
+  run_breakeven_sweep ~k128 ~u128

@@ -1,0 +1,78 @@
+(* Table 6-7: Telnet output rate (characters/second at the display), over
+   Pup/BSP (user-level) and IP/TCP (kernel), on fast and slow displays.
+
+   The first two rows use an MC68010 workstation whose drawing is CPU work
+   competing with protocol processing; the last two a 9600-baud terminal.
+   Framing note: TCP on the "3 Mbit/s" rows runs over a 3 Mbit/s link with
+   10Mb framing (our IP stack needs 6-byte addresses); the bottleneck there
+   is the terminal, not the wire, so the substitution is immaterial
+   (DESIGN.md). *)
+
+open Util
+open Pf_proto
+
+let chars = 12_000
+let chunk = 16
+
+let telnet_bsp ~rate display =
+  let world = dix_world ~rate () in
+  let sock_a = Pup_socket.create world.a ~socket:100l in
+  let sock_b = Pup_socket.create world.b ~socket:200l in
+  let displayed = ref 0 and t0 = ref 0 and t1 = ref 0 in
+  ignore
+    (Host.spawn world.b ~name:"server" (fun () ->
+         let conn = Bsp.accept sock_b () in
+         Telnet.run_server (Telnet.Bsp conn) ~chars ~chunk));
+  ignore
+    (Host.spawn world.a ~name:"user" (fun () ->
+         match Bsp.connect sock_a ~peer:(Pup.port ~host:2 200l) () with
+         | Some conn ->
+           t0 := Engine.now world.engine;
+           displayed := Telnet.run_display (Telnet.Bsp conn) display;
+           t1 := Engine.now world.engine
+         | None -> failwith "bsp connect failed"));
+  Engine.run world.engine;
+  float_of_int !displayed /. Pf_sim.Time.to_sec (!t1 - !t0)
+
+let telnet_tcp ~rate display =
+  let world = dix_world ~rate () in
+  let ip_a = Ipv4.addr_of_string "10.0.0.1" and ip_b = Ipv4.addr_of_string "10.0.0.2" in
+  let stack_a = Ipstack.attach world.a ~ip:ip_a in
+  let stack_b = Ipstack.attach world.b ~ip:ip_b in
+  Ipstack.add_route stack_a ~ip:ip_b (Host.addr world.b);
+  Ipstack.add_route stack_b ~ip:ip_a (Host.addr world.a);
+  let tcp_a = Tcp.create stack_a and tcp_b = Tcp.create stack_b in
+  let listener = Tcp.listen tcp_b ~port:23 in
+  let displayed = ref 0 and t0 = ref 0 and t1 = ref 0 in
+  ignore
+    (Host.spawn world.b ~name:"server" (fun () ->
+         match Tcp.accept listener with
+         | Some conn -> Telnet.run_server (Telnet.Tcp conn) ~chars ~chunk
+         | None -> ()));
+  ignore
+    (Host.spawn world.a ~name:"user" (fun () ->
+         match Tcp.connect tcp_a ~dst:ip_b ~dst_port:23 with
+         | Some conn ->
+           t0 := Engine.now world.engine;
+           displayed := Telnet.run_display (Telnet.Tcp conn) display;
+           t1 := Engine.now world.engine
+         | None -> failwith "tcp connect failed"));
+  Engine.run world.engine;
+  float_of_int !displayed /. Pf_sim.Time.to_sec (!t1 - !t0)
+
+let run () =
+  let bsp_fast = telnet_bsp ~rate:10. Telnet.workstation in
+  let tcp_fast = telnet_tcp ~rate:10. Telnet.workstation in
+  let bsp_slow = telnet_bsp ~rate:3. Telnet.terminal_9600 in
+  let tcp_slow = telnet_tcp ~rate:3. Telnet.terminal_9600 in
+  print_table ~title:"Table 6-7: Relative performance of Telnet (chars/second)"
+    ~note:
+      "note: the workstation rows are display-CPU limited (about half of\n\
+       3350 cps); the terminal rows are limited by the 9600-baud line, so\n\
+       BSP and TCP nearly coincide — the paper's point."
+    [
+      { metric = "Pup/BSP, 10Mb, workstation"; paper = "1635"; ours = cps bsp_fast };
+      { metric = "IP/TCP, 10Mb, workstation"; paper = "1757"; ours = cps tcp_fast };
+      { metric = "Pup/BSP, 3Mb, 9600 baud"; paper = "878"; ours = cps bsp_slow };
+      { metric = "IP/TCP, 3Mb, 9600 baud"; paper = "933"; ours = cps tcp_slow };
+    ]

@@ -1,0 +1,42 @@
+(* The experiment harness: regenerates every table in the paper's
+   evaluation (section 6) from the simulation, printing the paper's numbers
+   next to ours, then runs the ablations and wall-clock microbenchmarks.
+
+   Usage:  dune exec bench/main.exe              (everything)
+           dune exec bench/main.exe -- send vmtp (selected experiments)
+           dune exec bench/main.exe -- --list *)
+
+let experiments =
+  [
+    ("profile", "§6.1 kernel per-packet processing time", Exp_profile.run);
+    ("send", "Table 6-1 cost of sending packets", Exp_send.run);
+    ("vmtp", "Tables 6-2..6-5 VMTP latency/bulk/batching/user-demux", Exp_vmtp.run);
+    ("stream", "Table 6-6 BSP vs TCP byte streams (+FTP)", Exp_stream.run);
+    ("telnet", "Table 6-7 Telnet output rates", Exp_telnet.run);
+    ("demux", "Tables 6-8..6-10 demultiplexing and filter costs", Exp_demux.run);
+    ("figures", "Figures 2-1/2-2, 2-3, 3-4/3-5 cost decompositions", Exp_figures.run);
+    ("ablation", "Design ablations + Bechamel microbenchmarks", Exp_ablation.run);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--list" ] ->
+    List.iter (fun (name, descr, _) -> Printf.printf "%-10s %s\n" name descr) experiments
+  | [] ->
+    print_endline "The Packet Filter (Mogul, Rashid & Accetta, SOSP 1987) — reproduction";
+    print_endline "=====================================================================";
+    print_endline
+      "All timings from the calibrated MicroVAX-II/Ultrix-1.2 simulation\n\
+       (DESIGN.md documents the calibration; absolute numbers are modeled,\n\
+       shapes are measured).";
+    List.iter (fun (_, _, run) -> run ()) experiments
+  | names ->
+    List.iter
+      (fun name ->
+        match List.find_opt (fun (n, _, _) -> n = name) experiments with
+        | Some (_, _, run) -> run ()
+        | None ->
+          Printf.eprintf "unknown experiment %S (try --list)\n" name;
+          exit 1)
+      names

@@ -1,0 +1,112 @@
+(* Shared infrastructure for the experiment harness: world builders,
+   measurement helpers, and paper-vs-measured table rendering. *)
+
+module Engine = Pf_sim.Engine
+module Costs = Pf_sim.Costs
+module Process = Pf_sim.Process
+module Host = Pf_kernel.Host
+module Addr = Pf_net.Addr
+module Frame = Pf_net.Frame
+module Packet = Pf_pkt.Packet
+
+type world = {
+  engine : Engine.t;
+  link : Pf_net.Link.t;
+  a : Host.t; (* client / sender *)
+  b : Host.t; (* server / receiver *)
+}
+
+let dix_world ?(costs = Costs.microvax_ii) ?costs_a ?costs_b ?(rate = 10.) () =
+  let engine = Engine.create () in
+  let link = Pf_net.Link.create engine Frame.Dix10 ~rate_mbit:rate () in
+  let costs_a = Option.value ~default:costs costs_a in
+  let costs_b = Option.value ~default:costs costs_b in
+  let a = Host.create ~costs:costs_a link ~name:"a" ~addr:(Addr.eth_host 1) in
+  let b = Host.create ~costs:costs_b link ~name:"b" ~addr:(Addr.eth_host 2) in
+  { engine; link; a; b }
+
+let exp3_world ?(costs = Costs.microvax_ii) ?(rate = 3.) () =
+  let engine = Engine.create () in
+  let link = Pf_net.Link.create engine Frame.Exp3 ~rate_mbit:rate () in
+  let a = Host.create ~costs link ~name:"a" ~addr:(Addr.exp 1) in
+  let b = Host.create ~costs link ~name:"b" ~addr:(Addr.exp 2) in
+  { engine; link; a; b }
+
+(* {1 Table rendering} *)
+
+type row = { metric : string; paper : string; ours : string }
+
+let rule width = String.make width '-'
+
+let print_table ~title ?note rows =
+  let metric_w =
+    List.fold_left (fun acc r -> max acc (String.length r.metric)) 28 rows
+  in
+  let paper_w = List.fold_left (fun acc r -> max acc (String.length r.paper)) 12 rows in
+  let ours_w = List.fold_left (fun acc r -> max acc (String.length r.ours)) 12 rows in
+  let total = metric_w + paper_w + ours_w + 6 in
+  Printf.printf "\n%s\n%s\n" title (rule total);
+  Printf.printf "%-*s  %*s  %*s\n" metric_w "" paper_w "paper" ours_w "ours";
+  List.iter
+    (fun r -> Printf.printf "%-*s  %*s  %*s\n" metric_w r.metric paper_w r.paper ours_w r.ours)
+    rows;
+  Printf.printf "%s\n" (rule total);
+  match note with None -> () | Some n -> Printf.printf "%s\n" n
+
+let ms v = Printf.sprintf "%.1f mSec" v
+let ms2 v = Printf.sprintf "%.2f mSec" v
+let kbs v = Printf.sprintf "%.0f KB/s" v
+let cps v = Printf.sprintf "%.0f" v
+
+(* {1 Measurement helpers} *)
+
+(* Run [n] iterations of [body] inside a process on host [h]; return mean
+   virtual elapsed per iteration in microseconds (excluding [warmup]
+   leading iterations). *)
+let time_iterations world h ~n ?(warmup = 2) body =
+  let t0 = ref 0 and t1 = ref 0 in
+  let _p =
+    Host.spawn h ~name:"driver" (fun () ->
+        for i = 1 to warmup do
+          body i
+        done;
+        t0 := Engine.now world.engine;
+        for i = 1 to n do
+          body i
+        done;
+        t1 := Engine.now world.engine)
+  in
+  Engine.run world.engine;
+  float_of_int (!t1 - !t0) /. float_of_int n
+
+let throughput_kbs ~bytes ~us =
+  if us <= 0 then infinity else float_of_int bytes /. 1024. *. 1_000_000. /. float_of_int us
+
+(* Build a raw Pup-ish frame of an exact total size on a Dix10 link,
+   destined to a given Pup socket (used by the demux-cost experiments). *)
+let sized_frame ~src ~dst ~socket ~total =
+  let payload_len = max 0 (total - 14) in
+  let b = Pf_pkt.Builder.create ~capacity:total () in
+  (* Pup header (figure 3-7 shifted to the 10Mb frame): length, tc|type,
+     id, dst port, src port, then padding to size. *)
+  Pf_pkt.Builder.add_word b payload_len;
+  Pf_pkt.Builder.add_word b 1;
+  Pf_pkt.Builder.add_word32 b 0l;
+  Pf_pkt.Builder.add_byte b 0;
+  Pf_pkt.Builder.add_byte b 2;
+  Pf_pkt.Builder.add_word32 b socket;
+  Pf_pkt.Builder.add_byte b 0;
+  Pf_pkt.Builder.add_byte b 1;
+  Pf_pkt.Builder.add_word32 b 99l;
+  for _ = 1 to payload_len - 20 do
+    Pf_pkt.Builder.add_byte b 0
+  done;
+  Frame.encode Frame.Dix10 ~dst ~src ~ethertype:0x0200 (Pf_pkt.Builder.to_packet b)
+
+let pup_frame_dix ~socket =
+  sized_frame ~src:(Addr.eth_host 1) ~dst:(Addr.eth_host 2) ~socket ~total:128
+
+let set_filter_exn port program =
+  match Pf_kernel.Pfdev.set_filter port program with
+  | Ok () -> ()
+  | Error e -> failwith (Format.asprintf "set_filter: %a" Pf_filter.Validate.pp_error e)

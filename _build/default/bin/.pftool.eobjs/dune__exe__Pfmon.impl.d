@@ -1,0 +1,1 @@
+bin/pfmon.ml: Arg Cmd Cmdliner Format In_channel Int32 Ipstack Ipv4 List Pf_filter Pf_kernel Pf_monitor Pf_net Pf_pkt Pf_proto Pf_sim Printf Pup Pup_socket String Term Udp

@@ -1,0 +1,1 @@
+bin/pftool.ml: Arg Bytes Cmd Cmdliner Format In_channel Interp List Parse Peephole Pf_filter Pf_pkt Predicates Printf Program String Term Validate

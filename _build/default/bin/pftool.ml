@@ -1,0 +1,164 @@
+(* pftool — assemble, disassemble, validate, and run packet filters.
+
+   The text syntax is one instruction per line ("pushword+8", "pushlit cand
+   35", ...; '#' comments), the wire format is the paper's struct enfilter
+   (priority word, length word, 16-bit code words).
+
+     pftool asm FILE          assemble, validate, print the wire encoding
+     pftool disasm W0 W1 ...  decode wire words back to text
+     pftool run FILE HEX      run a filter over a packet given as hex bytes
+     pftool examples          print the paper's figure 3-8 and 3-9 filters *)
+
+open Pf_filter
+open Cmdliner
+
+let read_program path =
+  let content =
+    if path = "-" then In_channel.input_all stdin
+    else In_channel.with_open_text path In_channel.input_all
+  in
+  match Program.of_string content with
+  | Ok p -> p
+  | Error e ->
+    Printf.eprintf "pftool: %s\n" e;
+    exit 1
+
+let report_validation program =
+  match Validate.check program with
+  | Ok v ->
+    Printf.printf "valid: needs >= %d packet words%s%s\n" v.Validate.min_packet_words
+      (if v.Validate.has_indirect then ", uses indirect push (§7 extension)" else "")
+      (if Program.uses_extensions program then ", uses post-1987 extensions" else "")
+  | Error e -> Format.printf "INVALID: %a@." Validate.pp_error e
+
+let asm_cmd =
+  let file = Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc:"Filter source ('-' for stdin).") in
+  let run file =
+    let program = read_program file in
+    Format.printf "%a@." Program.pp program;
+    Printf.printf "wire: %s\n"
+      (String.concat " " (List.map (Printf.sprintf "%04x") (Program.encode program)));
+    Printf.printf "%d instructions, %d code words\n" (Program.insn_count program)
+      (Program.code_words program);
+    report_validation program
+  in
+  Cmd.v (Cmd.info "asm" ~doc:"Assemble a filter and print its wire encoding")
+    Term.(const run $ file)
+
+let disasm_cmd =
+  let words =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"WORD" ~doc:"16-bit code words in hex.")
+  in
+  let run words =
+    let parse w =
+      match int_of_string_opt ("0x" ^ w) with
+      | Some v -> v
+      | None ->
+        Printf.eprintf "pftool: bad hex word %S\n" w;
+        exit 1
+    in
+    match Program.decode (List.map parse words) with
+    | Ok p ->
+      Format.printf "%a@." Program.pp p;
+      report_validation p
+    | Error e ->
+      Format.eprintf "pftool: %a@." Program.pp_decode_error e;
+      exit 1
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Decode wire words back to filter text")
+    Term.(const run $ words)
+
+let parse_hex_packet s =
+  let s = String.concat "" (String.split_on_char ' ' s) in
+  if String.length s mod 2 <> 0 then begin
+    Printf.eprintf "pftool: odd number of hex digits\n";
+    exit 1
+  end;
+  let n = String.length s / 2 in
+  let b = Bytes.create n in
+  (try
+     for i = 0 to n - 1 do
+       Bytes.set_uint8 b i (int_of_string ("0x" ^ String.sub s (2 * i) 2))
+     done
+   with _ ->
+     Printf.eprintf "pftool: bad hex packet\n";
+     exit 1);
+  Pf_pkt.Packet.of_bytes b
+
+let run_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Filter source.") in
+  let hex = Arg.(required & pos 1 (some string) None & info [] ~docv:"HEX" ~doc:"Packet bytes in hex.") in
+  let run file hex =
+    let program = read_program file in
+    let packet = parse_hex_packet hex in
+    Format.printf "packet:@.%a@." Pf_pkt.Packet.pp_hex packet;
+    let outcome = Interp.run program packet in
+    Printf.printf "verdict: %s (%d of %d instructions executed)\n"
+      (if outcome.Interp.accept then "ACCEPT" else "REJECT")
+      outcome.Interp.insns_executed (Program.insn_count program);
+    match outcome.Interp.error with
+    | Some e -> Format.printf "rejected by runtime check: %a@." Interp.pp_error e
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Evaluate a filter over a packet") Term.(const run $ file $ hex)
+
+let compile_cmd =
+  let expr =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR"
+           ~doc:"Predicate in expression syntax, e.g. 'pup.dstsocket.lo == 35 && ether.type == 2'.")
+  in
+  let dix =
+    Arg.(value & flag & info [ "10mb" ] ~doc:"Use 10Mb-Ethernet field offsets (default: 3Mb experimental).")
+  in
+  let optimize = Arg.(value & flag & info [ "O" ] ~doc:"Run the peephole optimizer on the result.") in
+  let run expr dix optimize =
+    let variant = if dix then `Dix10 else `Exp3 in
+    match Parse.compile ~variant expr with
+    | Error e ->
+      Printf.eprintf "pftool: %s\n" e;
+      exit 1
+    | Ok program ->
+      let program = if optimize then Peephole.optimize program else program in
+      Format.printf "%a@." Program.pp program;
+      Printf.printf "wire: %s\n"
+        (String.concat " " (List.map (Printf.sprintf "%04x") (Program.encode program)));
+      report_validation program
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile an expression to a filter program"
+       ~man:
+         [ `S "FIELDS";
+           `P "Known field names (3Mb experimental Ethernet unless --10mb):";
+           `Pre
+             (String.concat "\n"
+                (List.map (fun (n, d) -> Printf.sprintf "  %-20s %s" n d) (Parse.fields `Exp3)));
+           `Pre
+             (String.concat "\n"
+                (List.map (fun (n, d) -> Printf.sprintf "  %-20s %s (10mb)" n d)
+                   (Parse.fields `Dix10)));
+         ])
+    Term.(const run $ expr $ dix $ optimize)
+
+let fields_cmd =
+  let run () =
+    List.iter
+      (fun (variant, label) ->
+        Printf.printf "%s:\n" label;
+        List.iter (fun (n, d) -> Printf.printf "  %-20s %s\n" n d) (Parse.fields variant))
+      [ (`Exp3, "3Mb experimental Ethernet"); (`Dix10, "10Mb Ethernet") ]
+  in
+  Cmd.v (Cmd.info "fields" ~doc:"List field names usable in expressions")
+    Term.(const run $ const ())
+
+let examples_cmd =
+  let run () =
+    Format.printf "# Figure 3-8: Pup packets with 0 < PupType <= 100@.%a@."
+      Program.pp Predicates.fig_3_8;
+    Format.printf "@.# Figure 3-9: Pup DstSocket = 35, short-circuit@.%a@."
+      Program.pp Predicates.fig_3_9
+  in
+  Cmd.v (Cmd.info "examples" ~doc:"Print the paper's example filters") Term.(const run $ const ())
+
+let () =
+  let info = Cmd.info "pftool" ~doc:"Packet filter assembler / disassembler / evaluator" in
+  exit (Cmd.eval (Cmd.group info [ asm_cmd; disasm_cmd; run_cmd; compile_cmd; fields_cmd; examples_cmd ]))

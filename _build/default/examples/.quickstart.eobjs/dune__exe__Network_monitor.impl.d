@@ -1,0 +1,1 @@
+examples/network_monitor.ml: Format Ipstack Ipv4 List Pf_kernel Pf_monitor Pf_net Pf_pkt Pf_proto Pf_sim Printf Rarp Udp

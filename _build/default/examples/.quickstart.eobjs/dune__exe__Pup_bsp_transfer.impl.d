@@ -1,0 +1,1 @@
+examples/pup_bsp_transfer.ml: Bsp Buffer Char Format Pf_kernel Pf_net Pf_proto Pf_sim Pup Pup_socket String

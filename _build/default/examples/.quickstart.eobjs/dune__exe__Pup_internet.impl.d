@@ -1,0 +1,1 @@
+examples/pup_internet.ml: Bsp Buffer Char Format Int32 Pf_kernel Pf_net Pf_pkt Pf_proto Pf_sim Pup Pup_echo Pup_gateway Pup_socket String

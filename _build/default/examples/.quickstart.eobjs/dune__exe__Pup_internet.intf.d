@@ -1,0 +1,1 @@
+examples/pup_internet.mli:

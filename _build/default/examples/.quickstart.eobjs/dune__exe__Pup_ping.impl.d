@@ -1,0 +1,1 @@
+examples/pup_ping.ml: Format Int32 List Pf_kernel Pf_net Pf_pkt Pf_proto Pf_sim Pup Pup_echo Pup_socket String

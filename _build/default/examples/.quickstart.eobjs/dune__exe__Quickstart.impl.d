@@ -1,0 +1,1 @@
+examples/quickstart.ml: Action Closure Dsl Expr Fast Format Insn Int32 Interp List Op Pf_filter Pf_pkt Printf Program String Validate

@@ -1,0 +1,1 @@
+examples/vmtp_rpc.ml: Buffer Char Format Pf_kernel Pf_net Pf_pkt Pf_proto Pf_sim String Vmtp

@@ -1,0 +1,1 @@
+examples/vmtp_rpc.mli:

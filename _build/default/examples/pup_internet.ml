@@ -1,0 +1,91 @@
+(* A little Pup internet: two experimental Ethernets joined by a
+   two-interface gateway machine whose forwarding is, like everything else
+   at Stanford in the early eighties, user-level code over the packet
+   filter (§5.1; the HopCount field of figure 3-7 exists for these hops).
+
+   alice (net 1) pings bob (net 2) through the gateway, then streams a file
+   to him over BSP — every exchange crossing the gateway in both directions.
+
+   Run with:  dune exec examples/pup_internet.exe *)
+
+open Pf_proto
+module Engine = Pf_sim.Engine
+module Host = Pf_kernel.Host
+module Addr = Pf_net.Addr
+module Packet = Pf_pkt.Packet
+
+let () =
+  let engine = Engine.create () in
+  let net1 = Pf_net.Link.create engine Pf_net.Frame.Exp3 ~rate_mbit:3. () in
+  let net2 = Pf_net.Link.create engine Pf_net.Frame.Exp3 ~rate_mbit:3. () in
+  let alice = Host.create net1 ~name:"alice" ~addr:(Addr.exp 10) in
+  let bob = Host.create net2 ~name:"bob" ~addr:(Addr.exp 20) in
+  let gw = Host.create net1 ~name:"gateway" ~addr:(Addr.exp 1) in
+  ignore (Host.add_interface gw net2 ~addr:(Addr.exp 2));
+  let gateway =
+    match Host.interfaces gw with
+    | [ (n1, p1); (n2, p2) ] ->
+      Pup_gateway.start gw ~interfaces:[ (1, n1, p1); (2, n2, p2) ] ()
+    | _ -> assert false
+  in
+
+  (* Echo server on bob; ping from alice, across the gateway. *)
+  let echod = Pup_echo.server ~net:2 ~routes:[ (1, 2) ] bob in
+
+  let file = String.init (32 * 1024) (fun i -> Char.chr (33 + (i mod 90))) in
+  let received = Buffer.create (32 * 1024) in
+  let stream_done = ref 0 in
+
+  let sock_b = Pup_socket.create ~net:2 bob ~socket:0x30l in
+  Pup_socket.set_route sock_b ~net:1 ~via:2;
+  ignore
+    (Host.spawn bob ~name:"sink" (fun () ->
+         let conn = Bsp.accept sock_b () in
+         let rec drain () =
+           match Bsp.recv conn with
+           | Some s ->
+             Buffer.add_string received s;
+             drain ()
+           | None -> stream_done := Engine.now engine
+         in
+         drain ()));
+
+  ignore
+    (Host.spawn alice ~name:"alice" (fun () ->
+         (* 1. ping across the internet *)
+         let sock = Pup_socket.create ~net:1 alice ~socket:0x99l in
+         Pup_socket.set_route sock ~net:2 ~via:1;
+         Format.printf "pinging bob (net 2) through the gateway...@.";
+         let probe i =
+           let t0 = Engine.now engine in
+           Pup_socket.send sock
+             ~dst:(Pup.port ~net:2 ~host:20 Pup_echo.echo_socket)
+             ~ptype:Pup_echo.echo_me ~id:(Int32.of_int i) (Packet.of_string "hop hop");
+           match Pup_socket.recv ~timeout:1_000_000 sock with
+           | Some pup when pup.Pup.ptype = Pup_echo.im_an_echo ->
+             Format.printf "  seq=%d rtt=%.2fms (2 gateway hops)@." i
+               (Pf_sim.Time.to_ms (Engine.now engine - t0))
+           | Some _ | None -> Format.printf "  seq=%d lost@." i
+         in
+         for i = 1 to 3 do
+           probe i
+         done;
+         Pup_socket.close sock;
+         (* 2. stream a file across *)
+         let sock_a = Pup_socket.create ~net:1 alice ~socket:0x31l in
+         Pup_socket.set_route sock_a ~net:2 ~via:1;
+         match Bsp.connect sock_a ~peer:(Pup.port ~net:2 ~host:20 0x30l) () with
+         | Some conn ->
+           let t0 = Engine.now engine in
+           Bsp.send conn file;
+           Bsp.close conn;
+           Format.printf "@.BSP across the gateway: %d bytes in %.2fs virtual@."
+             (String.length file)
+             (Pf_sim.Time.to_sec (Engine.now engine - t0))
+         | None -> Format.printf "BSP connect failed@."));
+  Engine.run engine;
+
+  assert (Buffer.contents received = file);
+  Format.printf "file intact on net 2 (%d answered echoes); gateway forwarded %d Pups@."
+    (Pup_echo.echoed echod) (Pup_gateway.forwarded gateway);
+  ignore !stream_done

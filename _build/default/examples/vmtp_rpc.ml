@@ -1,0 +1,71 @@
+(* The §5.2 story: Unix hosts joining a V-system distributed environment by
+   speaking VMTP from user space, over the packet filter — no kernel
+   modifications, then (later) the same protocol kernel-resident.
+
+   A "file server" exposes a read-segment operation; a client issues the
+   same transactions against a user-level and a kernel-resident VMTP, and
+   reports the §6.3 cost comparison on this toy workload.
+
+   Run with:  dune exec examples/vmtp_rpc.exe *)
+
+open Pf_proto
+module Engine = Pf_sim.Engine
+module Host = Pf_kernel.Host
+module Addr = Pf_net.Addr
+module Packet = Pf_pkt.Packet
+
+(* The "file": 64KB of text served in 8KB segments. *)
+let file =
+  String.init (64 * 1024) (fun i ->
+      if i mod 64 = 63 then '\n' else Char.chr (97 + ((i / 64) + i) mod 26))
+
+let segment_size = 8 * 1024
+
+let handler request =
+  (* Request payload: segment index as decimal text. *)
+  let index = int_of_string (String.trim (Packet.to_string request)) in
+  let pos = index * segment_size in
+  if pos >= String.length file then Packet.of_string ""
+  else Packet.of_string (String.sub file pos (min segment_size (String.length file - pos)))
+
+let run_impl name impl =
+  let engine = Engine.create () in
+  let link = Pf_net.Link.create engine Pf_net.Frame.Dix10 ~rate_mbit:10. () in
+  let unix_host = Host.create link ~name:"unix" ~addr:(Addr.eth_host 1) in
+  let v_host = Host.create link ~name:"vserver" ~addr:(Addr.eth_host 2) in
+  let server = Vmtp.server v_host impl ~entity:0x100l ~handler in
+  let client = Vmtp.client unix_host impl ~entity:0x200l in
+  let fetched = Buffer.create (String.length file) in
+  let elapsed = ref 0 in
+  ignore
+    (Host.spawn unix_host ~name:"reader" (fun () ->
+         let t0 = Engine.now engine in
+         let segments = (String.length file + segment_size - 1) / segment_size in
+         for i = 0 to segments - 1 do
+           match
+             Vmtp.call client ~server:0x100l ~server_addr:(Host.addr v_host)
+               (Packet.of_string (string_of_int i))
+           with
+           | Some segment -> Buffer.add_string fetched (Packet.to_string segment)
+           | None -> failwith "transaction failed"
+         done;
+         elapsed := Engine.now engine - t0;
+         Vmtp.close_client client;
+         Vmtp.stop_server server));
+  Engine.run ~until:60_000_000 engine;
+  assert (Buffer.contents fetched = file);
+  Format.printf "%-34s %6.1f ms for 64KB = %5.0f KB/s  (%d transactions served)@." name
+    (Pf_sim.Time.to_ms !elapsed)
+    (64. *. 1000. /. Pf_sim.Time.to_ms !elapsed)
+    (Vmtp.requests_served server)
+
+let () =
+  Format.printf "Reading a 64KB remote file in 8KB VMTP segments:@.@.";
+  run_impl "user-level VMTP (packet filter)" (Vmtp.User { batch = true });
+  run_impl "user-level VMTP, no batching" (Vmtp.User { batch = false });
+  run_impl "kernel-resident VMTP" Vmtp.Kernel;
+  Format.printf
+    "@.The user-level implementation pays per-packet domain crossings; the@.\
+     kernel one crosses once per transaction (figure 2-3). \"The user-level@.\
+     implementation allowed rapid development of the protocol specification@.\
+     through experimentation with easily-modified code.\" (§5.2)@."

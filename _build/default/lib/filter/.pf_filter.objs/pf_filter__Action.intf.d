@@ -1,0 +1,1 @@
+lib/filter/action.mli: Format

@@ -1,0 +1,1 @@
+lib/filter/closure.ml: Action Insn List Op Pf_pkt Program Validate

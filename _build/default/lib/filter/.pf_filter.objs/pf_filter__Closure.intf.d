@@ -1,0 +1,1 @@
+lib/filter/closure.mli: Pf_pkt Program Validate

@@ -1,0 +1,1 @@
+lib/filter/decision.ml: Action Fast Hashtbl Insn List Op Option Pf_pkt Program Validate

@@ -1,0 +1,1 @@
+lib/filter/decision.mli: Pf_pkt Program Validate

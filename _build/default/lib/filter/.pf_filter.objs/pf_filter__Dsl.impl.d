@@ -1,0 +1,1 @@
+lib/filter/dsl.ml: Expr Int32

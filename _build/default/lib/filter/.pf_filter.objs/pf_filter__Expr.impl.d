@@ -1,0 +1,1 @@
+lib/filter/expr.ml: Action Format Insn List Op Option Pf_pkt Printf Program

@@ -1,0 +1,1 @@
+lib/filter/expr.mli: Format Pf_pkt Program

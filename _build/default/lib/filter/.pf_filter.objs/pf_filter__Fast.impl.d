@@ -1,0 +1,1 @@
+lib/filter/fast.ml: Action Array Insn Interp Op Pf_pkt Program Validate

@@ -1,0 +1,1 @@
+lib/filter/fast.mli: Pf_pkt Program Validate

@@ -1,0 +1,1 @@
+lib/filter/fieldmatch.ml: Action Dsl Expr Format Pf_pkt

@@ -1,0 +1,1 @@
+lib/filter/fieldmatch.mli: Expr Format Pf_pkt Program

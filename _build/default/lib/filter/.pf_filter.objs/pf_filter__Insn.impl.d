@@ -1,0 +1,1 @@
+lib/filter/insn.ml: Action Format List Op Printf String

@@ -1,0 +1,1 @@
+lib/filter/insn.mli: Action Format Op

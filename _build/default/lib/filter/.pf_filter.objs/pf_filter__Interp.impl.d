@@ -1,0 +1,1 @@
+lib/filter/interp.ml: Action Array Format Insn Op Pf_pkt Program

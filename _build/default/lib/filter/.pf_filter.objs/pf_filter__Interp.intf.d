@@ -1,0 +1,1 @@
+lib/filter/interp.mli: Format Pf_pkt Program

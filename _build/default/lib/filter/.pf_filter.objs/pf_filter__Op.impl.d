@@ -1,0 +1,1 @@
+lib/filter/op.ml: Format List Stdlib String

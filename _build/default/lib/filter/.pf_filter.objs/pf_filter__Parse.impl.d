@@ -1,0 +1,1 @@
+lib/filter/parse.ml: Expr List Printf String

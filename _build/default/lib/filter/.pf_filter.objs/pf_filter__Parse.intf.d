@@ -1,0 +1,1 @@
+lib/filter/parse.mli: Expr Program

@@ -1,0 +1,1 @@
+lib/filter/peephole.ml: Action Array Insn Op Program

@@ -1,0 +1,1 @@
+lib/filter/peephole.mli: Program

@@ -1,0 +1,1 @@
+lib/filter/predicates.ml: Action Char Dsl Expr Insn Int32 List Op Program String

@@ -1,0 +1,1 @@
+lib/filter/predicates.mli: Program

@@ -1,0 +1,1 @@
+lib/filter/program.ml: Action Array Buffer Format Insn List Printf String

@@ -1,0 +1,1 @@
+lib/filter/program.mli: Format Insn

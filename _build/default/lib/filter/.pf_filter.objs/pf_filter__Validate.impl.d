@@ -1,0 +1,1 @@
+lib/filter/validate.ml: Action Format Insn Interp List Op Program

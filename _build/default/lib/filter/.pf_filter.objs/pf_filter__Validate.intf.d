@@ -1,0 +1,1 @@
+lib/filter/validate.mli: Format Program

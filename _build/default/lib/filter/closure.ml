@@ -1,0 +1,77 @@
+module Packet = Pf_pkt.Packet
+
+(* A step receives the packet, its word count, and the evaluation stack as an
+   immutable list, and produces the final verdict. Each instruction becomes
+   one closure wired directly to its successor. *)
+type step = Packet.t -> int -> int list -> bool
+
+type t = { validated : Validate.t; entry : Packet.t -> bool }
+
+let bool_word b = if b then 1 else 0
+
+let act_step (a : Action.t) (next : step) : step =
+  match a with
+  | Action.Nopush -> next
+  | Action.Pushlit v -> fun pkt words st -> next pkt words (v :: st)
+  | Action.Pushzero -> fun pkt words st -> next pkt words (0 :: st)
+  | Action.Pushone -> fun pkt words st -> next pkt words (1 :: st)
+  | Action.Pushffff -> fun pkt words st -> next pkt words (0xffff :: st)
+  | Action.Pushff00 -> fun pkt words st -> next pkt words (0xff00 :: st)
+  | Action.Push00ff -> fun pkt words st -> next pkt words (0x00ff :: st)
+  | Action.Pushword i ->
+    fun pkt words st -> if i >= words then false else next pkt words (Packet.word pkt i :: st)
+  | Action.Pushind -> (
+    fun pkt words st ->
+      match st with
+      | index :: rest ->
+        if index >= words then false else next pkt words (Packet.word pkt index :: rest)
+      | [] -> assert false (* ruled out by validation *))
+
+let op_step (op : Op.t) (next : step) : step =
+  match op with
+  | Op.Nop -> next
+  | Op.Eq -> (
+    fun pkt words st ->
+      match st with
+      | t1 :: t2 :: rest -> next pkt words (bool_word (t2 = t1) :: rest)
+      | [] | [ _ ] -> assert false)
+  | Op.And -> (
+    fun pkt words st ->
+      match st with
+      | t1 :: t2 :: rest -> next pkt words (t2 land t1 :: rest)
+      | [] | [ _ ] -> assert false)
+  | Op.Cand -> (
+    fun pkt words st ->
+      match st with
+      | t1 :: t2 :: rest -> if t1 <> t2 then false else next pkt words (1 :: rest)
+      | [] | [ _ ] -> assert false)
+  | Op.Cor -> (
+    fun pkt words st ->
+      match st with
+      | t1 :: t2 :: rest -> if t1 = t2 then true else next pkt words (0 :: rest)
+      | [] | [ _ ] -> assert false)
+  | op -> (
+    (* The remaining operators share a generic step built on Op.apply. *)
+    fun pkt words st ->
+      match st with
+      | t1 :: t2 :: rest -> (
+        match Op.apply op ~t2 ~t1 with
+        | Op.Push r -> next pkt words (r :: rest)
+        | Op.Terminate verdict -> verdict
+        | Op.Fault -> false)
+      | [] | [ _ ] -> assert false)
+
+let finish : step =
+ fun _pkt _words st -> match st with [] -> true | top :: _ -> top <> 0
+
+let compile validated =
+  let insns = Program.insns (Validate.program validated) in
+  let chain =
+    List.fold_right
+      (fun (insn : Insn.t) next -> act_step insn.action (op_step insn.op next))
+      insns finish
+  in
+  { validated; entry = (fun pkt -> chain pkt (Packet.word_count pkt) []) }
+
+let program t = Validate.program t.validated
+let run t pkt = t.entry pkt

@@ -1,0 +1,16 @@
+(** Filter-to-code compilation.
+
+    Section 7: "Even more speed could be gained by compiling filters into
+    machine code". The machine-code analog here is compilation to a chain of
+    OCaml closures built once at installation time — all instruction decoding
+    and dispatch happens at compile time, and evaluation is a series of
+    direct calls.
+
+    Equivalent to {!Interp.run} with [`Paper] semantics on every packet
+    (property-tested). *)
+
+type t
+
+val compile : Validate.t -> t
+val program : t -> Program.t
+val run : t -> Pf_pkt.Packet.t -> bool

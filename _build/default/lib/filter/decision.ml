@@ -1,0 +1,146 @@
+module Packet = Pf_pkt.Packet
+
+let const_of_action = function
+  | Action.Pushlit v -> Some v
+  | Action.Pushzero -> Some 0
+  | Action.Pushone -> Some 1
+  | Action.Pushffff -> Some 0xffff
+  | Action.Pushff00 -> Some 0xff00
+  | Action.Push00ff -> Some 0x00ff
+  | Action.Nopush | Action.Pushword _ | Action.Pushind -> None
+
+(* A guard is a (word, constant) pair the packet must satisfy for the filter
+   to accept. We recognise the two-instruction idioms the run-time compiler
+   (and the paper's figures) produce:
+   - [pushword+i] [<const-push>|CAND]   — or the operands in either order —
+     anywhere in the leading run of such pairs, and
+   - [pushword+i] [<const-push>|EQ] as the final two instructions of the
+     program (the result must end up truthy on top of the stack). *)
+let guard_chain program =
+  let rec leading acc = function
+    | ({ Insn.action = Action.Pushword i; op = Op.Nop } : Insn.t) :: second :: rest -> (
+      match (const_of_action second.Insn.action, second.Insn.op) with
+      | Some c, Op.Cand -> leading ((i, c land 0xffff) :: acc) rest
+      | Some c, Op.Eq when rest = [] -> List.rev ((i, c land 0xffff) :: acc)
+      | _ -> List.rev acc)
+    | ({ Insn.action; op = Op.Nop } : Insn.t) :: second :: rest -> (
+      match (const_of_action action, second.Insn.action, second.Insn.op) with
+      | Some c, Action.Pushword i, Op.Cand -> leading ((i, c land 0xffff) :: acc) rest
+      | Some c, Action.Pushword i, Op.Eq when rest = [] ->
+        List.rev ((i, c land 0xffff) :: acc)
+      | _ -> List.rev acc)
+    | _ -> List.rev acc
+  in
+  leading [] (Program.insns program)
+
+type 'a entry = { rank : int; fast : Fast.t; value : 'a }
+
+type 'a node = {
+  residents : 'a entry list; (* evaluated whenever this node is reached *)
+  split : ('a branch) option;
+}
+
+and 'a branch = { offset : int; cases : (int, 'a node) Hashtbl.t }
+
+type 'a t = { root : 'a node; count : int }
+
+(* Build a node from filters paired with their remaining guard chains. The
+   split offset is the most common next-guard offset; filters whose next
+   guard is on a different word become residents rather than complicating the
+   tree (they are few in realistic filter sets, which share header layout). *)
+let rec build_node entries =
+  let with_guard, without =
+    List.partition (fun (_, guards) -> guards <> []) entries
+  in
+  let residents_no_guard = List.map fst without in
+  match with_guard with
+  | [] -> { residents = residents_no_guard; split = None }
+  | _ ->
+    let counts = Hashtbl.create 8 in
+    List.iter
+      (fun (_, guards) ->
+        match guards with
+        | (off, _) :: _ ->
+          Hashtbl.replace counts off (1 + Option.value ~default:0 (Hashtbl.find_opt counts off))
+        | [] -> ())
+      with_guard;
+    let best_off, _ =
+      Hashtbl.fold (fun off n ((_, best_n) as best) -> if n > best_n then (off, n) else best)
+        counts (-1, 0)
+    in
+    let on_split, off_split =
+      List.partition
+        (fun (_, guards) -> match guards with (off, _) :: _ -> off = best_off | [] -> false)
+        with_guard
+    in
+    let residents = residents_no_guard @ List.map fst off_split in
+    let by_value = Hashtbl.create 8 in
+    List.iter
+      (fun (entry, guards) ->
+        match guards with
+        | (_, v) :: rest ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_value v) in
+          Hashtbl.replace by_value v ((entry, rest) :: prev)
+        | [] -> assert false)
+      on_split;
+    let cases = Hashtbl.create (Hashtbl.length by_value) in
+    Hashtbl.iter
+      (fun v entries -> Hashtbl.replace cases v (build_node (List.rev entries)))
+      by_value;
+    { residents; split = Some { offset = best_off; cases } }
+
+let build filters =
+  let ranked =
+    List.mapi (fun i (validated, value) -> (i, validated, value)) filters
+    |> List.stable_sort (fun (i, va, _) (j, vb, _) ->
+           match
+             compare
+               (Program.priority (Validate.program vb))
+               (Program.priority (Validate.program va))
+           with
+           | 0 -> compare i j
+           | c -> c)
+  in
+  let entries =
+    List.mapi
+      (fun rank (_, validated, value) ->
+        let fast = Fast.compile validated in
+        ({ rank; fast; value }, guard_chain (Validate.program validated)))
+      ranked
+  in
+  { root = build_node entries; count = List.length filters }
+
+let size t = t.count
+
+let candidates t packet =
+  let rec descend node acc =
+    let acc = List.rev_append node.residents acc in
+    match node.split with
+    | None -> acc
+    | Some { offset; cases } -> (
+      match Packet.word_opt packet offset with
+      | None -> acc (* too short: every guarded filter on this word rejects *)
+      | Some v -> (
+        match Hashtbl.find_opt cases v with
+        | Some child -> descend child acc
+        | None -> acc))
+  in
+  descend t.root [] |> List.sort (fun a b -> compare a.rank b.rank)
+
+type stats = { insns : int; filters_run : int }
+
+let classify_stats t packet =
+  let rec try_each insns filters_run = function
+    | [] -> (None, { insns; filters_run })
+    | entry :: rest ->
+      let accept, executed = Fast.run_counted entry.fast packet in
+      if accept then (Some entry.value, { insns = insns + executed; filters_run = filters_run + 1 })
+      else try_each (insns + executed) (filters_run + 1) rest
+  in
+  try_each 0 0 (candidates t packet)
+
+let classify_counted t packet =
+  let value, stats = classify_stats t packet in
+  (value, stats.insns)
+
+let classify t packet = fst (classify_counted t packet)

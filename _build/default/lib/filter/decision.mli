@@ -1,0 +1,42 @@
+(** Merged dispatch over a set of active filters.
+
+    Section 7's last improvement: "with a redesigned filter language it might
+    be possible to compile the set of active filters into a decision table,
+    which should provide the best possible performance." This module builds
+    that structure for the language as it exists: it extracts from each
+    program the leading chain of [(word, constant)] equality guards (the
+    CAND chains of figure 3-9 and trailing EQ tests), indexes the filters in
+    a trie keyed on those guards, and — because a guard is a {e necessary}
+    condition for its filter — only runs the full programs of filters whose
+    guards match the packet.
+
+    The verdict is always identical to applying the filters sequentially in
+    priority order (highest first, ties broken by insertion order), which the
+    property tests assert; only the amount of interpretation changes. *)
+
+type 'a t
+
+val build : (Validate.t * 'a) list -> 'a t
+(** [build filters] orders filters by decreasing {!Program.priority},
+    breaking ties by list position (matching the kernel's demux loop). *)
+
+val size : 'a t -> int
+(** Number of filters. *)
+
+val classify : 'a t -> Pf_pkt.Packet.t -> 'a option
+(** First match in priority order. *)
+
+val classify_counted : 'a t -> Pf_pkt.Packet.t -> 'a option * int
+(** Also returns total filter instructions interpreted, for comparison with
+    the sequential demultiplexer's cost. *)
+
+type stats = { insns : int; filters_run : int }
+
+val classify_stats : 'a t -> Pf_pkt.Packet.t -> 'a option * stats
+(** Like {!classify_counted} but also reports how many candidate filters
+    were actually interpreted (the kernel charges a fixed per-filter
+    application cost on top of per-instruction costs). *)
+
+val guard_chain : Program.t -> (int * int) list
+(** The extracted [(word index, value)] guard chain of a program (exposed
+    for tests and for the pftool disassembler's commentary). *)

@@ -1,0 +1,290 @@
+module Packet = Pf_pkt.Packet
+
+type binop =
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Band
+  | Bor
+  | Bxor
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lsh
+  | Rsh
+
+type t =
+  | Lit of int
+  | Word of int
+  | Ind of t
+  | Bin of binop * t * t
+  | Not of t
+  | All of t list
+  | Any of t list
+
+let equal (a : t) (b : t) = a = b
+
+let op_of_binop = function
+  | Eq -> Op.Eq
+  | Neq -> Op.Neq
+  | Lt -> Op.Lt
+  | Le -> Op.Le
+  | Gt -> Op.Gt
+  | Ge -> Op.Ge
+  | Band -> Op.And
+  | Bor -> Op.Or
+  | Bxor -> Op.Xor
+  | Add -> Op.Add
+  | Sub -> Op.Sub
+  | Mul -> Op.Mul
+  | Div -> Op.Div
+  | Mod -> Op.Mod
+  | Lsh -> Op.Lsh
+  | Rsh -> Op.Rsh
+
+let rec pp ppf = function
+  | Lit v -> Format.fprintf ppf "%d" v
+  | Word n -> Format.fprintf ppf "w[%d]" n
+  | Ind e -> Format.fprintf ppf "w[%a]" pp e
+  | Bin (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp a (Op.name (op_of_binop op)) pp b
+  | Not e -> Format.fprintf ppf "(not %a)" pp e
+  | All es ->
+    Format.fprintf ppf "(all";
+    List.iter (fun e -> Format.fprintf ppf " %a" pp e) es;
+    Format.fprintf ppf ")"
+  | Any es ->
+    Format.fprintf ppf "(any";
+    List.iter (fun e -> Format.fprintf ppf " %a" pp e) es;
+    Format.fprintf ppf ")"
+
+let rec uses_extensions = function
+  | Lit _ | Word _ -> false
+  | Ind _ -> true
+  | Bin ((Add | Sub | Mul | Div | Mod | Lsh | Rsh), _, _) -> true
+  | Bin ((Eq | Neq | Lt | Le | Gt | Ge | Band | Bor | Bxor), a, b) ->
+    uses_extensions a || uses_extensions b
+  | Not e -> uses_extensions e
+  | All es | Any es -> List.exists uses_extensions es
+
+(* {1 Reference semantics} *)
+
+let ( let* ) = Option.bind
+let bool_word b = if b then 1 else 0
+
+let apply_binop op a b =
+  match op with
+  | Eq -> Some (bool_word (a = b))
+  | Neq -> Some (bool_word (a <> b))
+  | Lt -> Some (bool_word (a < b))
+  | Le -> Some (bool_word (a <= b))
+  | Gt -> Some (bool_word (a > b))
+  | Ge -> Some (bool_word (a >= b))
+  | Band -> Some (a land b)
+  | Bor -> Some (a lor b)
+  | Bxor -> Some (a lxor b)
+  | Add -> Some ((a + b) land 0xffff)
+  | Sub -> Some ((a - b) land 0xffff)
+  | Mul -> Some ((a * b) land 0xffff)
+  | Div -> if b = 0 then None else Some (a / b)
+  | Mod -> if b = 0 then None else Some (a mod b)
+  | Lsh -> Some ((a lsl (b land 15)) land 0xffff)
+  | Rsh -> Some (a lsr (b land 15))
+
+let rec eval e pkt =
+  match e with
+  | Lit v -> Some (v land 0xffff)
+  | Word n -> Packet.word_opt pkt n
+  | Ind e ->
+    let* index = eval e pkt in
+    Packet.word_opt pkt index
+  | Bin (op, a, b) ->
+    let* va = eval a pkt in
+    let* vb = eval b pkt in
+    apply_binop op va vb
+  | Not e ->
+    let* v = eval e pkt in
+    Some (bool_word (v = 0))
+  | All es ->
+    let rec go acc = function
+      | [] -> Some (bool_word acc)
+      | e :: rest ->
+        let* v = eval e pkt in
+        go (acc && v <> 0) rest
+    in
+    go true es
+  | Any es ->
+    let rec go acc = function
+      | [] -> Some (bool_word acc)
+      | e :: rest ->
+        let* v = eval e pkt in
+        go (acc || v <> 0) rest
+    in
+    go false es
+
+let matches e pkt = match eval e pkt with Some v -> v <> 0 | None -> false
+
+(* {1 Simplification} *)
+
+let rec simplify e =
+  match e with
+  | Lit v -> Lit (v land 0xffff)
+  | Word _ -> e
+  | Ind inner -> Ind (simplify inner)
+  | Not inner -> (
+    match simplify inner with
+    | Lit v -> Lit (bool_word (v = 0))
+    | Not (All _ | Any _ | Not _ | Bin ((Eq | Neq | Lt | Le | Gt | Ge), _, _) as b) ->
+      b (* not (not b) = b only when b is 0/1-valued *)
+    | inner' -> Not inner')
+  | Bin (op, a, b) -> (
+    match (simplify a, simplify b) with
+    | Lit va, Lit vb -> (
+      match apply_binop op va vb with
+      | Some v -> Lit v
+      | None -> Bin (op, Lit va, Lit vb) (* division by zero: keep, faults at run time *))
+    | a', b' -> Bin (op, a', b'))
+  | All es -> (
+    let es = List.map simplify es in
+    (* Flatten nested conjunctions, drop true constants, absorb on false. *)
+    let flat = List.concat_map (function All inner -> inner | e -> [ e ]) es in
+    if List.exists (function Lit 0 -> true | _ -> false) flat then Lit 0
+    else
+      match List.filter (function Lit _ -> false | _ -> true) flat with
+      | [] -> Lit 1
+      | [ only ] when is_boolean only -> only
+      | kept -> All kept)
+  | Any es -> (
+    let es = List.map simplify es in
+    let flat = List.concat_map (function Any inner -> inner | e -> [ e ]) es in
+    if List.exists (function Lit v -> v <> 0 | _ -> false) flat then Lit 1
+    else
+      match List.filter (function Lit _ -> false | _ -> true) flat with
+      | [] -> Lit 0
+      | [ only ] when is_boolean only -> only
+      | kept -> Any kept)
+
+and is_boolean = function
+  | Bin ((Eq | Neq | Lt | Le | Gt | Ge), _, _) | Not _ | All _ | Any _ -> true
+  | Lit (0 | 1) -> true
+  | Lit _ | Word _ | Ind _
+  | Bin ((Band | Bor | Bxor | Add | Sub | Mul | Div | Mod | Lsh | Rsh), _, _) -> false
+
+(* {1 Compilation} *)
+
+(* Emission produces a reversed instruction list; [push_insn] conses. An
+   operator can often be fused into the preceding push (the paper's
+   PUSHLIT|EQ idiom): if the last emitted instruction carries no operator
+   yet, attach it there instead of emitting a separate NOPUSH word. *)
+
+let fuse_op code op =
+  match code with
+  | ({ Insn.action; op = Op.Nop } : Insn.t) :: rest when action <> Action.Nopush ->
+    { Insn.action; op } :: rest
+  | _ -> Insn.make ~op Action.Nopush :: code
+
+let push_const code v =
+  let action =
+    match v land 0xffff with
+    | 0 -> Action.Pushzero
+    | 1 -> Action.Pushone
+    | 0xffff -> Action.Pushffff
+    | 0xff00 -> Action.Pushff00
+    | 0x00ff -> Action.Push00ff
+    | v -> Action.Pushlit v
+  in
+  Insn.make action :: code
+
+let rec emit_value code e =
+  match e with
+  | Lit v -> push_const code v
+  | Word n ->
+    if n > Action.max_word_index then
+      invalid_arg (Printf.sprintf "Expr.compile: word offset %d not encodable" n);
+    Insn.make (Action.Pushword n) :: code
+  | Ind inner ->
+    let code = emit_value code inner in
+    Insn.make Action.Pushind :: code
+  | Bin (op, a, b) ->
+    let code = emit_value code a in
+    let code = emit_value code b in
+    fuse_op code (op_of_binop op)
+  | Not inner ->
+    (* There is no NOT operator: compile as (inner == 0). *)
+    let code = emit_value code inner in
+    fuse_op (Insn.make Action.Pushzero :: code) Op.Eq
+  | All [] -> push_const code 1
+  | Any [] -> push_const code 0
+  | All (first :: rest) ->
+    let code = emit_bool code first in
+    List.fold_left (fun code e -> fuse_op (emit_bool code e) Op.And) code rest
+  | Any (first :: rest) ->
+    let code = emit_bool code first in
+    List.fold_left (fun code e -> fuse_op (emit_bool code e) Op.Or) code rest
+
+and emit_bool code e =
+  (* Like [emit_value] but guarantees a 0/1 result, so that bitwise AND
+     implements conjunction (2 land 1 would otherwise be 0). *)
+  if is_boolean e then emit_value code e
+  else begin
+    let code = emit_value code e in
+    fuse_op (Insn.make Action.Pushzero :: code) Op.Neq
+  end
+
+(* Short-circuit forms for the terms of the top-level spine. A conjunctive
+   term must terminate the program FALSE when it fails; a disjunctive term
+   must terminate TRUE when it holds. Equality tests fuse directly into
+   CAND/COR (figure 3-9); inequality tests invert into CNOR/CNAND; everything
+   else is computed as a value and tested against zero. *)
+
+let emit_cand_term code e =
+  match e with
+  | Bin (Eq, a, b) ->
+    let code = emit_value code a in
+    fuse_op (emit_value code b) Op.Cand
+  | Bin (Neq, a, b) ->
+    let code = emit_value code a in
+    fuse_op (emit_value code b) Op.Cnor
+  | e ->
+    let code = emit_value code e in
+    fuse_op (Insn.make Action.Pushzero :: code) Op.Cnor
+
+let emit_cor_term code e =
+  match e with
+  | Bin (Eq, a, b) ->
+    let code = emit_value code a in
+    fuse_op (emit_value code b) Op.Cor
+  | Bin (Neq, a, b) ->
+    let code = emit_value code a in
+    fuse_op (emit_value code b) Op.Cnand
+  | e ->
+    let code = emit_value code e in
+    fuse_op (Insn.make Action.Pushzero :: code) Op.Cnand
+
+let rec split_last = function
+  | [] -> invalid_arg "split_last"
+  | [ x ] -> ([], x)
+  | x :: rest ->
+    let init, last = split_last rest in
+    (x :: init, last)
+
+let emit_top code e =
+  match e with
+  | All (_ :: _ :: _ as terms) ->
+    let init, last = split_last terms in
+    let code = List.fold_left emit_cand_term code init in
+    emit_value code last
+  | Any (_ :: _ :: _ as terms) ->
+    let init, last = split_last terms in
+    let code = List.fold_left emit_cor_term code init in
+    emit_value code last
+  | e -> emit_value code e
+
+let compile ?(priority = 0) ?(short_circuit = true) ?(optimize = true) e =
+  let e = if optimize then simplify e else e in
+  let code = if short_circuit then emit_top [] e else emit_value [] e in
+  Program.v ~priority (List.rev code)

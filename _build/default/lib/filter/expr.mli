@@ -1,0 +1,81 @@
+(** Filter predicates as expressions.
+
+    The paper notes that filters "are not directly constructed by the
+    programmer, but are 'compiled' at run time by a library procedure"
+    (section 3.1). This module is that library procedure: a predicate is
+    written as an expression tree and compiled to a stack program, with
+    automatic selection of the special-constant push actions and of the
+    short-circuit operators.
+
+    All values are 16-bit words; comparisons and the logical connectives
+    ({!All}, {!Any}, {!Not}) produce 0 or 1. *)
+
+(** Operators allowed in expressions: every {!Op.t} except [Nop] and the
+    short-circuit operators, which are control flow, not arithmetic. The
+    compiler introduces short-circuit operators itself. *)
+type binop =
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Band  (** bitwise *)
+  | Bor
+  | Bxor
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lsh
+  | Rsh
+
+type t =
+  | Lit of int      (** constant, low 16 bits *)
+  | Word of int     (** the [n]th 16-bit word of the packet *)
+  | Ind of t        (** packet word at a computed index (section 7 extension) *)
+  | Bin of binop * t * t
+  | Not of t
+  | All of t list   (** conjunction; [All []] is true *)
+  | Any of t list   (** disjunction; [Any []] is false *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val uses_extensions : t -> bool
+(** True if the expression needs [Ind] or an arithmetic operator, i.e. cannot
+    be compiled to the 1987 instruction set. *)
+
+(** {1 Reference semantics} *)
+
+val eval : t -> Pf_pkt.Packet.t -> int option
+(** Strict evaluation; [None] means some referenced packet word was out of
+    range (which rejects the packet, like the interpreter). On packets that
+    cover every referenced word, [eval] agrees exactly with running the
+    compiled program. On shorter packets a short-circuit-compiled program may
+    terminate before reaching the out-of-range reference; see {!compile}. *)
+
+val matches : t -> Pf_pkt.Packet.t -> bool
+(** [matches e pkt] is true iff [eval e pkt] is [Some v] with [v <> 0]. *)
+
+(** {1 Optimization and compilation} *)
+
+val simplify : t -> t
+(** Constant folding, flattening of nested [All]/[Any], unit/absorbing
+    element elimination. Preserves [eval] on all packets. *)
+
+val compile :
+  ?priority:int -> ?short_circuit:bool -> ?optimize:bool -> t -> Program.t
+(** [compile e] produces a stack program whose verdict on any packet covering
+    all referenced words equals [matches e].
+
+    [short_circuit] (default true) makes the top-level [All]/[Any] spine use
+    the conditional operators, so evaluation stops at the first decisive
+    term, exactly like figure 3-9; with [false] the program evaluates every
+    term, like figure 3-8. Inner connectives always compile to plain
+    [AND]/[OR] because a short-circuit operator terminates the whole program.
+
+    [optimize] (default true) applies {!simplify} first.
+
+    Raises [Invalid_argument] if a [Word] index exceeds the encodable range. *)

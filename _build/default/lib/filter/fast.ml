@@ -1,0 +1,86 @@
+module Packet = Pf_pkt.Packet
+
+type t = {
+  validated : Validate.t;
+  insns : Insn.t array;
+  stack : int array;
+      (* Scratch stack reused across runs; safe because filters are applied
+         sequentially on the (simulated) kernel path, never concurrently. *)
+}
+
+let compile validated =
+  { validated;
+    insns = Array.of_list (Program.insns (Validate.program validated));
+    stack = Array.make Interp.stack_size 0;
+  }
+
+let program t = Validate.program t.validated
+let priority t = Program.priority (program t)
+
+exception Done of bool * int
+
+let run_counted t packet =
+  let words = Packet.word_count packet in
+  (* When the packet covers every constant offset the program can touch, the
+     loop below performs no packet bounds checks at all. A shorter packet
+     cannot simply be rejected up front: a short-circuit operator might
+     terminate the program (accepting!) before the out-of-range push is
+     reached, so such packets keep a cheap per-push check to stay exactly
+     equivalent to the checked interpreter. *)
+  let need_check = words < t.validated.Validate.min_packet_words in
+  begin
+    let stack = t.stack in
+    let sp = ref 0 in
+    let n = Array.length t.insns in
+    try
+      for pc = 0 to n - 1 do
+        let insn = t.insns.(pc) in
+        (match insn.Insn.action with
+        | Action.Nopush -> ()
+        | Action.Pushlit v ->
+          stack.(!sp) <- v;
+          incr sp
+        | Action.Pushzero ->
+          stack.(!sp) <- 0;
+          incr sp
+        | Action.Pushone ->
+          stack.(!sp) <- 1;
+          incr sp
+        | Action.Pushffff ->
+          stack.(!sp) <- 0xffff;
+          incr sp
+        | Action.Pushff00 ->
+          stack.(!sp) <- 0xff00;
+          incr sp
+        | Action.Push00ff ->
+          stack.(!sp) <- 0x00ff;
+          incr sp
+        | Action.Pushword i ->
+          if need_check && i >= words then raise (Done (false, pc + 1));
+          stack.(!sp) <- Packet.word packet i;
+          incr sp
+        | Action.Pushind ->
+          (* The only dynamically-checked access: the index comes off the
+             stack, so validation cannot bound it. *)
+          let index = stack.(!sp - 1) in
+          if index >= words then raise (Done (false, pc + 1));
+          stack.(!sp - 1) <- Packet.word packet index);
+        match insn.Insn.op with
+        | Op.Nop -> ()
+        | op -> (
+          let t1 = stack.(!sp - 1) in
+          let t2 = stack.(!sp - 2) in
+          sp := !sp - 2;
+          match Op.apply op ~t2 ~t1 with
+          | Op.Push r ->
+            stack.(!sp) <- r;
+            incr sp
+          | Op.Terminate accept -> raise (Done (accept, pc + 1))
+          | Op.Fault -> raise (Done (false, pc + 1)))
+      done;
+      let accept = !sp = 0 || stack.(!sp - 1) <> 0 in
+      (accept, n)
+    with Done (accept, executed) -> (accept, executed)
+  end
+
+let run t packet = fst (run_counted t packet)

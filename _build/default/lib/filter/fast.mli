@@ -1,0 +1,21 @@
+(** Checkless interpreter for validated filters.
+
+    Runs a {!Validate.t} with no per-step stack or (for constant offsets)
+    packet bounds checks — the speedup section 7 of the paper predicts from
+    hoisting those checks to installation time. Packet length is compared
+    once against the program's statically known maximum word offset.
+
+    Semantically identical to {!Interp.run} with [`Paper] semantics on every
+    packet; the property tests assert this. *)
+
+type t
+
+val compile : Validate.t -> t
+val program : t -> Program.t
+val priority : t -> int
+
+val run : t -> Pf_pkt.Packet.t -> bool
+
+val run_counted : t -> Pf_pkt.Packet.t -> bool * int
+(** Also returns the number of instructions executed, for the simulator's CPU
+    cost accounting. *)

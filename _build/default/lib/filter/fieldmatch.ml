@@ -1,0 +1,47 @@
+module Packet = Pf_pkt.Packet
+
+type t = { offset : int; mask : int; value : int }
+
+let v ~offset ?(mask = 0xffff) value =
+  if offset < 0 || offset > Action.max_word_index then
+    invalid_arg "Fieldmatch.v: offset out of range";
+  { offset; mask = mask land 0xffff; value = value land mask land 0xffff }
+
+let matches t packet =
+  match Packet.word_opt packet t.offset with
+  | Some w -> w land t.mask = t.value
+  | None -> false
+
+let to_program t =
+  let open Dsl in
+  let field =
+    if t.mask = 0xffff then word t.offset else word t.offset &: lit t.mask
+  in
+  Expr.compile (field =: lit t.value)
+
+(* Normalize one side of an equality into (offset, mask) if it is a plain or
+   masked word reference. *)
+let masked_word = function
+  | Expr.Word n -> Some (n, 0xffff)
+  | Expr.Bin (Expr.Band, Expr.Word n, Expr.Lit m)
+  | Expr.Bin (Expr.Band, Expr.Lit m, Expr.Word n) -> Some (n, m land 0xffff)
+  | _ -> None
+
+let expressible expr =
+  let rec go = function
+    | Expr.Bin (Expr.Eq, a, b) -> (
+      match (masked_word a, b, masked_word b, a) with
+      | Some (offset, mask), Expr.Lit value, _, _
+      | _, _, Some (offset, mask), Expr.Lit value ->
+        if value land lnot mask land 0xffff <> 0 then None (* can never match *)
+        else Some (v ~offset ~mask value)
+      | _ -> None)
+    | Expr.All [ e ] | Expr.Any [ e ] -> go e
+    | Expr.Lit _ | Expr.Word _ | Expr.Ind _ | Expr.Bin _ | Expr.Not _
+    | Expr.All _ | Expr.Any _ -> None
+  in
+  go (Expr.simplify expr)
+
+let pp ppf t =
+  if t.mask = 0xffff then Format.fprintf ppf "w[%d] = 0x%04x" t.offset t.value
+  else Format.fprintf ppf "w[%d] & 0x%04x = 0x%04x" t.offset t.mask t.value

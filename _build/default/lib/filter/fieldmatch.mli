@@ -1,0 +1,31 @@
+(** Single-field matching — a Sun NIT-style baseline.
+
+    Section 5.4's footnote: Sun's Network Interface Tap is "similar to the
+    packet filter but only allows filtering on a single packet field". This
+    module is that weaker mechanism, for comparison: one 16-bit word at a
+    constant offset, optionally masked, compared against one value.
+
+    The point the paper makes (section 2): one field is almost never enough
+    — "almost all packets must be further discriminated by some
+    protocol-specific field", so a single-field kernel demultiplexer still
+    needs a user-level switching process. {!expressible} makes the gap
+    concrete: it decides whether a full predicate collapses to one field. *)
+
+type t = { offset : int; mask : int; value : int }
+
+val v : offset:int -> ?mask:int -> int -> t
+(** [v ~offset ?mask value]; [mask] defaults to 0xffff. *)
+
+val matches : t -> Pf_pkt.Packet.t -> bool
+(** True iff packet word [offset] exists and [(word land mask) = value]. *)
+
+val to_program : t -> Program.t
+(** The equivalent packet filter program (2-3 instructions) — the packet
+    filter subsumes NIT. *)
+
+val expressible : Expr.t -> t option
+(** [Some f] when the predicate tests exactly one masked word for equality
+    (after simplification); [None] when it genuinely needs more than one
+    field — e.g. figure 3-9's socket-and-type test. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+(** Filter instructions.
+
+    One instruction combines a stack action with a binary operator, executed
+    in that order (figure 3-6). In the 16-bit wire encoding the operator
+    occupies the high 6 bits and the action the low 10 bits; a [Pushlit]
+    action is followed by one extra literal word. *)
+
+type t = { action : Action.t; op : Op.t }
+
+val make : ?op:Op.t -> Action.t -> t
+(** [make ?op action] defaults [op] to [Op.Nop]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val encoded_length : t -> int
+(** 1, or 2 when the action is [Pushlit]. *)
+
+val is_extension : t -> bool
+
+val encode : t -> int list
+(** One or two 16-bit words. *)
+
+type decode_error =
+  | Bad_action of int       (** unused action code point *)
+  | Bad_operator of int     (** unused operator code point *)
+  | Truncated_literal       (** [Pushlit] with no following word *)
+
+val pp_decode_error : Format.formatter -> decode_error -> unit
+
+val decode : int list -> ((t * int list), decode_error) result
+(** [decode words] decodes one instruction from the head of [words] and
+    returns it with the remaining words. *)
+
+val to_string : t -> string
+(** Assembler syntax: ["pushword+3 and"], ["pushlit cand 35"], ["nop"]. The
+    operator is omitted when it is [Op.Nop] and the action is not [Nopush]. *)
+
+val of_string : string -> (t, string) result
+(** Parses the [to_string] syntax (case-insensitive, flexible spacing). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+(** The filter interpreter (section 3.1 and figure 4-1's [Apply]).
+
+    The interpreter iterates through the instruction words of a filter — there
+    are no branches — evaluating the predicate on a small stack. It stops when
+    the program is exhausted, a short-circuit condition is satisfied, or an
+    error is detected, and returns acceptance or rejection.
+
+    This is the {e checked} interpreter: every step verifies stack bounds and
+    packet offsets, exactly as the 1987 implementation did (the paper's
+    section 7 notes these checks can be hoisted; see {!Validate} and {!Fast}
+    for that improvement). *)
+
+val stack_size : int
+(** Evaluation stack capacity, 32 words. *)
+
+type error =
+  | Stack_underflow of int  (** pc of the faulting instruction *)
+  | Stack_overflow of int
+  | Bad_word_offset of { pc : int; index : int }
+    (** a push referenced a word beyond the received packet *)
+  | Division_by_zero of int
+
+val pp_error : Format.formatter -> error -> unit
+
+type outcome = {
+  accept : bool;
+  insns_executed : int;
+      (** instructions evaluated before the verdict, for cost accounting *)
+  error : error option;
+      (** a detected error rejects the packet, mirroring the kernel code *)
+}
+
+(** Two published semantics for a short-circuit operator that does {e not}
+    terminate the program:
+
+    - [`Paper]: push the comparison result and continue (figure 3-6);
+    - [`Bsd]: push nothing and continue (4.3BSD [enet.c]'s [enf_match]).
+
+    The two agree on every well-formed filter whose meaningful result ends on
+    top of the stack (e.g. figures 3-8 and 3-9) but differ on stack-depth
+    effects; [`Paper] is the default everywhere. *)
+type semantics = [ `Paper | `Bsd ]
+
+val run : ?semantics:semantics -> Program.t -> Pf_pkt.Packet.t -> outcome
+(** An empty stack at program end accepts the packet, so the empty filter
+    accepts everything. Otherwise the packet is accepted iff the top of stack
+    is non-zero. *)
+
+val accepts : ?semantics:semantics -> Program.t -> Pf_pkt.Packet.t -> bool
+(** [accepts p pkt = (run p pkt).accept]. *)

@@ -1,0 +1,272 @@
+type variant = [ `Exp3 | `Dix10 ]
+
+(* {1 Field tables} *)
+
+(* A field maps to an expression over packet words: the word itself, its low
+   byte (mask) or its high byte (shift). *)
+type field_kind = Whole of int | Low of int | High of int
+
+let field_expr = function
+  | Whole n -> Expr.Word n
+  | Low n -> Expr.Bin (Expr.Band, Expr.Word n, Expr.Lit 0x00ff)
+  | High n -> Expr.Bin (Expr.Rsh, Expr.Word n, Expr.Lit 8)
+
+let exp3_fields =
+  [
+    ("ether.dst", High 0, "destination host byte");
+    ("ether.src", Low 0, "source host byte");
+    ("ether.type", Whole 1, "packet type (Pup = 2)");
+    ("pup.length", Whole 2, "Pup length");
+    ("pup.hopcount", High 3, "transport control");
+    ("pup.type", Low 3, "PupType");
+    ("pup.id.hi", Whole 4, "identifier high word");
+    ("pup.id.lo", Whole 5, "identifier low word");
+    ("pup.dstnet", High 6, "destination network");
+    ("pup.dsthost", Low 6, "destination host");
+    ("pup.dstsocket.hi", Whole 7, "destination socket high word");
+    ("pup.dstsocket.lo", Whole 8, "destination socket low word");
+    ("pup.srcnet", High 9, "source network");
+    ("pup.srchost", Low 9, "source host");
+    ("pup.srcsocket.hi", Whole 10, "source socket high word");
+    ("pup.srcsocket.lo", Whole 11, "source socket low word");
+  ]
+
+let dix10_fields =
+  [
+    ("ether.type", Whole 6, "Ethertype (IP 0x0800, ARP 0x0806, ...)");
+    ("ip.vihl", High 7, "IP version/IHL byte");
+    ("ip.length", Whole 8, "IP total length");
+    ("ip.ttl", High 11, "IP time to live");
+    ("ip.proto", Low 11, "IP protocol (UDP 17, TCP 6)");
+    ("ip.src.hi", Whole 13, "source address high word");
+    ("ip.src.lo", Whole 14, "source address low word");
+    ("ip.dst.hi", Whole 15, "destination address high word");
+    ("ip.dst.lo", Whole 16, "destination address low word");
+    ("udp.srcport", Whole 17, "UDP source port (20-byte IP header)");
+    ("udp.dstport", Whole 18, "UDP destination port (20-byte IP header)");
+    ("tcp.srcport", Whole 17, "TCP source port (20-byte IP header)");
+    ("tcp.dstport", Whole 18, "TCP destination port (20-byte IP header)");
+    ("arp.oper", Whole 10, "ARP/RARP opcode");
+    ("pup.length", Whole 7, "Pup length (ethertype 0x0200)");
+    ("pup.type", Low 8, "PupType");
+    ("pup.dsthost", Low 11, "destination host");
+    ("pup.dstsocket.hi", Whole 12, "destination socket high word");
+    ("pup.dstsocket.lo", Whole 13, "destination socket low word");
+    ("vmtp.dst.hi", Whole 7, "destination entity high word");
+    ("vmtp.dst.lo", Whole 8, "destination entity low word");
+    ("vmtp.kind", High 11, "message kind");
+    ("vmtp.tid", Whole 12, "transaction id");
+  ]
+
+let field_table = function `Exp3 -> exp3_fields | `Dix10 -> dix10_fields
+
+let fields variant =
+  List.map (fun (name, _, descr) -> (name, descr)) (field_table variant)
+
+(* {1 Lexer} *)
+
+type token =
+  | Num of int
+  | Ident of string
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Op of string
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '.'
+  || c = '_'
+
+let tokenize input =
+  let n = String.length input in
+  let rec go pos acc =
+    if pos >= n then Ok (List.rev acc)
+    else begin
+      let c = input.[pos] in
+      if c = ' ' || c = '\t' || c = '\n' then go (pos + 1) acc
+      else if c = '(' then go (pos + 1) ((Lparen, pos) :: acc)
+      else if c = ')' then go (pos + 1) ((Rparen, pos) :: acc)
+      else if c = '[' then go (pos + 1) ((Lbracket, pos) :: acc)
+      else if c = ']' then go (pos + 1) ((Rbracket, pos) :: acc)
+      else if pos + 1 < n && List.mem (String.sub input pos 2)
+                [ "&&"; "||"; "=="; "!="; "<="; ">="; "<<"; ">>" ]
+      then go (pos + 2) ((Op (String.sub input pos 2), pos) :: acc)
+      else if String.contains "!<>&|^+-*/%" c then
+        go (pos + 1) ((Op (String.make 1 c), pos) :: acc)
+      else if c >= '0' && c <= '9' then begin
+        let stop = ref pos in
+        while
+          !stop < n
+          && (is_ident_char input.[!stop]
+             || (input.[!stop] = 'x' || input.[!stop] = 'X'))
+        do
+          incr stop
+        done;
+        let text = String.sub input pos (!stop - pos) in
+        match int_of_string_opt text with
+        | Some v -> go !stop ((Num v, pos) :: acc)
+        | None -> Error (Printf.sprintf "bad number %S at %d" text pos)
+      end
+      else if is_ident_char c then begin
+        let stop = ref pos in
+        while !stop < n && is_ident_char input.[!stop] do
+          incr stop
+        done;
+        go !stop ((Ident (String.sub input pos (!stop - pos)), pos) :: acc)
+      end
+      else Error (Printf.sprintf "unexpected character %C at %d" c pos)
+    end
+  in
+  go 0 []
+
+(* {1 Parser} *)
+
+exception Parse_error of string
+
+type state = { mutable tokens : (token * int) list; table : (string * field_kind * string) list }
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let peek st = match st.tokens with [] -> None | (t, _) :: _ -> Some t
+
+let expect st token what =
+  match st.tokens with
+  | (t, _) :: rest when t = token ->
+    st.tokens <- rest;
+    ()
+  | (_, pos) :: _ -> fail "expected %s at %d" what pos
+  | [] -> fail "expected %s at end of input" what
+
+let eat_op st names =
+  match st.tokens with
+  | (Op o, _) :: rest when List.mem o names ->
+    st.tokens <- rest;
+    Some o
+  | _ -> None
+
+let rec parse_or st =
+  let left = parse_and st in
+  match eat_op st [ "||" ] with
+  | Some _ ->
+    let right = parse_or st in
+    (match right with
+    | Expr.Any rs -> Expr.Any (left :: rs)
+    | r -> Expr.Any [ left; r ])
+  | None -> left
+
+and parse_and st =
+  let left = parse_not st in
+  match eat_op st [ "&&" ] with
+  | Some _ ->
+    let right = parse_and st in
+    (match right with
+    | Expr.All rs -> Expr.All (left :: rs)
+    | r -> Expr.All [ left; r ])
+  | None -> left
+
+and parse_not st =
+  match eat_op st [ "!" ] with
+  | Some _ -> Expr.Not (parse_not st)
+  | None -> parse_cmp st
+
+and parse_cmp st =
+  let left = parse_bits st in
+  match eat_op st [ "=="; "!="; "<="; ">="; "<"; ">" ] with
+  | Some "==" -> Expr.Bin (Expr.Eq, left, parse_bits st)
+  | Some "!=" -> Expr.Bin (Expr.Neq, left, parse_bits st)
+  | Some "<=" -> Expr.Bin (Expr.Le, left, parse_bits st)
+  | Some ">=" -> Expr.Bin (Expr.Ge, left, parse_bits st)
+  | Some "<" -> Expr.Bin (Expr.Lt, left, parse_bits st)
+  | Some ">" -> Expr.Bin (Expr.Gt, left, parse_bits st)
+  | Some _ | None -> left
+
+and parse_bits st =
+  (* left-associative chains *)
+  let rec loop left =
+    match eat_op st [ "&"; "|"; "^" ] with
+    | Some "&" -> loop (Expr.Bin (Expr.Band, left, parse_shift st))
+    | Some "|" -> loop (Expr.Bin (Expr.Bor, left, parse_shift st))
+    | Some "^" -> loop (Expr.Bin (Expr.Bxor, left, parse_shift st))
+    | Some _ | None -> left
+  in
+  loop (parse_shift st)
+
+and parse_shift st =
+  let rec loop left =
+    match eat_op st [ "<<"; ">>" ] with
+    | Some "<<" -> loop (Expr.Bin (Expr.Lsh, left, parse_sum st))
+    | Some ">>" -> loop (Expr.Bin (Expr.Rsh, left, parse_sum st))
+    | Some _ | None -> left
+  in
+  loop (parse_sum st)
+
+and parse_sum st =
+  let rec loop left =
+    match eat_op st [ "+"; "-" ] with
+    | Some "+" -> loop (Expr.Bin (Expr.Add, left, parse_term st))
+    | Some "-" -> loop (Expr.Bin (Expr.Sub, left, parse_term st))
+    | Some _ | None -> left
+  in
+  loop (parse_term st)
+
+and parse_term st =
+  let rec loop left =
+    match eat_op st [ "*"; "/"; "%" ] with
+    | Some "*" -> loop (Expr.Bin (Expr.Mul, left, parse_atom st))
+    | Some "/" -> loop (Expr.Bin (Expr.Div, left, parse_atom st))
+    | Some "%" -> loop (Expr.Bin (Expr.Mod, left, parse_atom st))
+    | Some _ | None -> left
+  in
+  loop (parse_atom st)
+
+and parse_atom st =
+  match st.tokens with
+  | (Num v, _) :: rest ->
+    st.tokens <- rest;
+    Expr.Lit (v land 0xffff)
+  | (Ident "word", _) :: rest ->
+    st.tokens <- rest;
+    expect st Lbracket "'[' after word";
+    let index = parse_or st in
+    expect st Rbracket "']'";
+    (* A constant index is a plain word reference; anything dynamic is the
+       section 7 indirect push. *)
+    (match Expr.simplify index with
+    | Expr.Lit n -> Expr.Word n
+    | dynamic -> Expr.Ind dynamic)
+  | (Ident name, pos) :: rest -> (
+    match List.find_opt (fun (n, _, _) -> n = name) st.table with
+    | Some (_, kind, _) ->
+      st.tokens <- rest;
+      field_expr kind
+    | None -> fail "unknown field %S at %d (see Parse.fields)" name pos)
+  | (Lparen, _) :: rest ->
+    st.tokens <- rest;
+    let e = parse_or st in
+    expect st Rparen "')'";
+    e
+  | (_, pos) :: _ -> fail "unexpected token at %d" pos
+  | [] -> fail "unexpected end of input"
+
+let parse ?(variant = `Exp3) input =
+  match tokenize input with
+  | Error e -> Error e
+  | Ok tokens -> (
+    let st = { tokens; table = field_table variant } in
+    try
+      let e = parse_or st in
+      match peek st with
+      | None -> Ok e
+      | Some _ ->
+        (match st.tokens with
+        | (_, pos) :: _ -> Error (Printf.sprintf "trailing input at %d" pos)
+        | [] -> assert false)
+    with Parse_error e -> Error e)
+
+let compile ?variant ?priority input =
+  match parse ?variant input with
+  | Error _ as e -> e
+  | Ok expr -> (
+    (* Expr.compile rejects offsets beyond the 10-bit action field. *)
+    try Ok (Expr.compile ?priority expr) with Invalid_argument m -> Error m)

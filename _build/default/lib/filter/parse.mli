@@ -1,0 +1,48 @@
+(** A concrete syntax for filter predicates — the front end the 1987 users
+    wrote by hand in C (figures 3-8/3-9) or got from ad-hoc libraries, and
+    the ancestor-in-spirit of tcpdump expressions.
+
+    Grammar (precedence low to high):
+
+    {v
+      expr   := or
+      or     := and ( "||" and )*
+      and    := not ( "&&" not )*
+      not    := "!" not | cmp
+      cmp    := bits ( ("==" | "!=" | "<" | "<=" | ">" | ">=") bits )?
+      bits   := shift ( ("&" | "|" | "^") shift )*
+      shift  := sum ( ("<<" | ">>") sum )*
+      sum    := term ( ("+" | "-") term )*
+      term   := atom ( ("*" | "/" | "%") atom )*
+      atom   := NUMBER | "word[" expr "]" | "(" expr ")" | FIELD
+      NUMBER := decimal | 0x hex
+    v}
+
+    [FIELD] is a protocol field name resolved against the known packet
+    layouts, e.g. [ether.type], [pup.type], [pup.dstsocket.lo], [ip.proto],
+    [udp.dstport] — see {!fields}. Field offsets depend on the link variant,
+    so parsing takes one.
+
+    Examples:
+
+    {v
+      pup.dstsocket.lo == 35 && pup.dstsocket.hi == 0 && ether.type == 2
+      word[6] == 0x0800 && (udp.dstport == 53 || udp.dstport == 123)
+      (pup.type & 0x80) != 0
+    v} *)
+
+type variant = [ `Exp3 | `Dix10 ]
+(** Mirrors [Pf_net.Frame.variant] without depending on the network library
+    (the filter layer is protocol-independent; only the field {e names} know
+    about layouts). *)
+
+val parse : ?variant:variant -> string -> (Expr.t, string) result
+(** [variant] defaults to [`Exp3] (the paper's native network); it selects
+    the field-name offsets. The error string includes the position. *)
+
+val compile :
+  ?variant:variant -> ?priority:int -> string -> (Program.t, string) result
+(** [parse] then {!Expr.compile} with short-circuit optimization. *)
+
+val fields : variant -> (string * string) list
+(** Known field names with descriptions, for --help output. *)

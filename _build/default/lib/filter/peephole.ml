@@ -1,0 +1,150 @@
+(* A symbolic-execution pass over the (branch-free, pure) program: the stack
+   is simulated with constant/unknown entries, each remembering which
+   instruction produced it, so constant subexpressions collapse bottom-up
+   across pass iterations. *)
+
+type entry = Const of int * int (* value, producer index *) | Unknown
+
+let const_push_action v =
+  match v land 0xffff with
+  | 0 -> Action.Pushzero
+  | 1 -> Action.Pushone
+  | 0xffff -> Action.Pushffff
+  | 0xff00 -> Action.Pushff00
+  | 0x00ff -> Action.Push00ff
+  | v -> Action.Pushlit v
+
+let is_pure_const_push (insn : Insn.t) =
+  insn.op = Op.Nop
+  &&
+  match insn.action with
+  | Action.Pushlit _ | Action.Pushzero | Action.Pushone | Action.Pushffff
+  | Action.Pushff00 | Action.Push00ff -> true
+  | Action.Nopush | Action.Pushword _ | Action.Pushind -> false
+
+exception Bail (* static underflow: not a valid program, leave it alone *)
+
+(* One pass. Returns the rewritten instruction list and whether anything
+   changed. *)
+let pass insns =
+  let arr = Array.of_list insns in
+  let n = Array.length arr in
+  let deleted = Array.make n false in
+  let changed = ref false in
+  let stack = ref [] in
+  let push e = stack := e :: !stack in
+  let pop () =
+    match !stack with
+    | [] -> raise Bail
+    | e :: rest ->
+      stack := rest;
+      e
+  in
+  let truncate_at = ref None in
+  (try
+     let i = ref 0 in
+     while !i < n && !truncate_at = None do
+       let insn = arr.(!i) in
+       (* Strength-reduce literal pushes of the special constants. *)
+       (match insn.Insn.action with
+       | Action.Pushlit v when const_push_action v <> Action.Pushlit v ->
+         arr.(!i) <- { insn with Insn.action = const_push_action v };
+         changed := true
+       | _ -> ());
+       let insn = arr.(!i) in
+       if Insn.equal insn (Insn.make Action.Nopush) then begin
+         (* A true no-op. *)
+         deleted.(!i) <- true;
+         changed := true
+       end
+       else begin
+         (* Stack action. *)
+         (match insn.Insn.action with
+         | Action.Nopush -> ()
+         | Action.Pushlit v -> push (Const (v land 0xffff, !i))
+         | Action.Pushzero -> push (Const (0, !i))
+         | Action.Pushone -> push (Const (1, !i))
+         | Action.Pushffff -> push (Const (0xffff, !i))
+         | Action.Pushff00 -> push (Const (0xff00, !i))
+         | Action.Push00ff -> push (Const (0x00ff, !i))
+         | Action.Pushword _ ->
+           ignore (push Unknown)
+         | Action.Pushind ->
+           ignore (pop ());
+           push Unknown);
+         (* Operator. *)
+         match insn.Insn.op with
+         | Op.Nop -> ()
+         | op -> (
+           let t1 = pop () in
+           let t2 = pop () in
+           match (t1, t2) with
+           | Const (c1, p1), Const (c2, p2) -> (
+             match Op.apply op ~t2:c2 ~t1:c1 with
+             | Op.Push r ->
+               (* Fold if both producers can be deleted: either they are
+                  pure constant pushes, or the top one is this very
+                  instruction's own action. *)
+               let deletable p =
+                 p = !i || ((not deleted.(p)) && is_pure_const_push arr.(p))
+               in
+               if deletable p1 && deletable p2 then begin
+                 if p1 <> !i then deleted.(p1) <- true;
+                 if p2 <> !i then deleted.(p2) <- true;
+                 arr.(!i) <- Insn.make (const_push_action r);
+                 changed := true;
+                 push (Const (r land 0xffff, !i))
+               end
+               else push (Const (r land 0xffff, !i))
+             | Op.Terminate _ | Op.Fault ->
+               (* When reached, this instruction always ends the program
+                  (with a verdict or a fault-reject): everything after it
+                  is dead. *)
+               if !i < n - 1 then begin
+                 truncate_at := Some !i;
+                 changed := true
+               end
+               else truncate_at := Some !i)
+           | (Const _ | Unknown), (Const _ | Unknown) -> push Unknown)
+       end;
+       incr i
+     done
+   with Bail ->
+     (* Invalid program: report no change so the caller returns it as-is. *)
+     changed := false;
+     truncate_at := None;
+     Array.iteri (fun i insn -> arr.(i) <- insn) (Array.of_list insns);
+     Array.fill deleted 0 n false);
+  let last = match !truncate_at with Some i -> i | None -> n - 1 in
+  let out = ref [] in
+  for i = last downto 0 do
+    if not deleted.(i) then out := arr.(i) :: !out
+  done;
+  (!out, !changed)
+
+let optimize program =
+  let rec fixpoint insns iterations =
+    if iterations = 0 then insns
+    else begin
+      let insns', changed = pass insns in
+      if changed then fixpoint insns' (iterations - 1) else insns'
+    end
+  in
+  Program.v ~priority:(Program.priority program) (fixpoint (Program.insns program) 8)
+
+type report = {
+  insns_before : int;
+  insns_after : int;
+  words_before : int;
+  words_after : int;
+}
+
+let optimize_with_report program =
+  let optimized = optimize program in
+  ( optimized,
+    {
+      insns_before = Program.insn_count program;
+      insns_after = Program.insn_count optimized;
+      words_before = Program.code_words program;
+      words_after = Program.code_words optimized;
+    } )

@@ -1,0 +1,32 @@
+(** Program-level peephole optimization.
+
+    Filters are installed rarely and run on every packet (section 4: the
+    interpreter's "inner loop is quite busy"), so installation-time cleanup
+    of machine-generated or hand-written programs pays for itself. Because
+    the language is straight-line and pure, optimization is a single
+    symbolic pass:
+
+    - true no-ops ([nopush] with operator [nop]) are deleted;
+    - literal pushes of 0, 1, 0xffff, 0xff00, 0x00ff are strength-reduced to
+      the dedicated one-word actions (saving the literal word);
+    - operators whose {e both} operands are statically known constants are
+      folded into a single constant push (recursively, so whole constant
+      subexpressions collapse);
+    - a short-circuit operator with a statically known outcome truncates the
+      rest of the program when the surviving prefix provably cannot fault or
+      exit first (conservatively: when it is empty).
+
+    [optimize] preserves the checked interpreter's verdict on {e every}
+    packet — including short ones and runtime faults — and never increases
+    the encoded size (both property-tested). *)
+
+val optimize : Program.t -> Program.t
+
+type report = {
+  insns_before : int;
+  insns_after : int;
+  words_before : int;
+  words_after : int;
+}
+
+val optimize_with_report : Program.t -> Program.t * report

@@ -1,0 +1,80 @@
+let max_code_words = 255
+
+type error =
+  | Program_too_long of { code_words : int }
+  | Static_underflow of { pc : int; depth : int }
+  | Static_overflow of { pc : int }
+  | Word_offset_unencodable of { pc : int; index : int }
+
+let pp_error ppf = function
+  | Program_too_long { code_words } ->
+    Format.fprintf ppf "program is %d code words (max %d)" code_words max_code_words
+  | Static_underflow { pc; depth } ->
+    Format.fprintf ppf "operator at pc %d needs 2 stack words, has %d" pc depth
+  | Static_overflow { pc } -> Format.fprintf ppf "stack overflow at pc %d" pc
+  | Word_offset_unencodable { pc; index } ->
+    Format.fprintf ppf "pushword+%d at pc %d exceeds the action field" index pc
+
+type t = {
+  program : Program.t;
+  min_packet_words : int;
+  final_depth : int;
+  has_indirect : bool;
+  has_division : bool;
+}
+
+let check program =
+  let code_words = Program.code_words program in
+  if code_words > max_code_words then Error (Program_too_long { code_words })
+  else begin
+    let exception Bad of error in
+    try
+      let depth = ref 0 in
+      let min_words = ref 0 in
+      let has_indirect = ref false in
+      let has_division = ref false in
+      let step pc (insn : Insn.t) =
+        (match insn.action with
+        | Action.Nopush -> ()
+        | Action.Pushind ->
+          (* Pops an index and pushes a word: net depth effect 0, but the
+             pop needs one word present. *)
+          has_indirect := true;
+          if !depth < 1 then raise (Bad (Static_underflow { pc; depth = !depth }))
+        | Action.Pushword i ->
+          if i > Action.max_word_index then
+            raise (Bad (Word_offset_unencodable { pc; index = i }));
+          if i + 1 > !min_words then min_words := i + 1;
+          incr depth
+        | Action.Pushlit _ | Action.Pushzero | Action.Pushone | Action.Pushffff
+        | Action.Pushff00 | Action.Push00ff ->
+          incr depth);
+        if !depth > Interp.stack_size then raise (Bad (Static_overflow { pc }));
+        match insn.op with
+        | Op.Nop -> ()
+        | op ->
+          if !depth < 2 then raise (Bad (Static_underflow { pc; depth = !depth }));
+          (match op with
+          | Op.Div | Op.Mod -> has_division := true
+          | Op.Nop | Op.Eq | Op.Neq | Op.Lt | Op.Le | Op.Gt | Op.Ge | Op.And
+          | Op.Or | Op.Xor | Op.Cor | Op.Cand | Op.Cnor | Op.Cnand | Op.Add
+          | Op.Sub | Op.Mul | Op.Lsh | Op.Rsh -> ());
+          decr depth
+      in
+      List.iteri step (Program.insns program);
+      Ok
+        { program;
+          min_packet_words = !min_words;
+          final_depth = !depth;
+          has_indirect = !has_indirect;
+          has_division = !has_division;
+        }
+    with Bad e -> Error e
+  end
+
+let check_exn program =
+  match check program with
+  | Ok t -> t
+  | Error e -> invalid_arg (Format.asprintf "invalid filter: %a" pp_error e)
+
+let program t = t.program

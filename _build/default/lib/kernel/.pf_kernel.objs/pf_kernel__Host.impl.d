@@ -1,0 +1,1 @@
+lib/kernel/host.ml: List Option Pf_net Pf_pkt Pf_sim Pfdev

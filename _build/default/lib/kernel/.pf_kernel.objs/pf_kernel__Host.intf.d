@@ -1,0 +1,1 @@
+lib/kernel/host.mli: Pf_net Pf_pkt Pf_sim Pfdev

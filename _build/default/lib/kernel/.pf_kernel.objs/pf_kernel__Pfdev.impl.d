@@ -1,0 +1,1 @@
+lib/kernel/pfdev.ml: List Option Pf_filter Pf_net Pf_pkt Pf_sim Queue

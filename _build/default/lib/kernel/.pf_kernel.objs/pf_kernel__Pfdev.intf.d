@@ -1,0 +1,1 @@
+lib/kernel/pfdev.mli: Pf_filter Pf_net Pf_pkt Pf_sim

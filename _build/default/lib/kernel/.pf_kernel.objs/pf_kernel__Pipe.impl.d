@@ -1,0 +1,1 @@
+lib/kernel/pipe.ml: Host Pf_pkt Pf_sim Queue

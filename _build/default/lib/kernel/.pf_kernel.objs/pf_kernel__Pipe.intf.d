@@ -1,0 +1,1 @@
+lib/kernel/pipe.mli: Host Pf_pkt Pf_sim

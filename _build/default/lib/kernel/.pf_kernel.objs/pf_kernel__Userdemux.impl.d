@@ -1,0 +1,1 @@
+lib/kernel/userdemux.ml: Array Format Host Lazy List Pf_filter Pf_sim Pfdev Pipe

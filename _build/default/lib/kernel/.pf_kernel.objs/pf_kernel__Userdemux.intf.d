@@ -1,0 +1,1 @@
+lib/kernel/userdemux.mli: Host Pf_filter Pf_pkt Pf_sim Pipe

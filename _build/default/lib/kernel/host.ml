@@ -1,0 +1,101 @@
+module Engine = Pf_sim.Engine
+module Cpu = Pf_sim.Cpu
+module Costs = Pf_sim.Costs
+module Stats = Pf_sim.Stats
+module Process = Pf_sim.Process
+
+type t = {
+  name : string;
+  engine : Engine.t;
+  cpu : Cpu.t;
+  costs : Costs.t;
+  stats : Stats.t;
+  nic : Pf_net.Nic.t;
+  pf : Pfdev.t;
+  mutable extra_interfaces : (Pf_net.Nic.t * Pfdev.t) list; (* beyond the primary *)
+  mutable protocols : (int * (Pf_pkt.Packet.t -> unit)) list;
+}
+
+let name t = t.name
+let engine t = t.engine
+let cpu t = t.cpu
+let costs t = t.costs
+let stats t = t.stats
+let nic t = t.nic
+let addr t = Pf_net.Nic.addr t.nic
+let pf t = t.pf
+
+(* One receive path per interface: driver interrupt, then the type-field
+   dispatch between host-wide kernel protocols and that interface's packet
+   filter unit. *)
+let rx t nic pf frame =
+  Stats.incr t.stats "host.rx";
+  Stats.incr ~by:t.costs.Costs.recv_interrupt t.stats "host.interrupt_cpu_us";
+  let finish =
+    Cpu.run t.cpu ~owner:`Interrupt ~start:(Engine.now t.engine)
+      ~cost:t.costs.Costs.recv_interrupt
+  in
+  Engine.schedule t.engine ~at:finish (fun () ->
+      let ethertype =
+        Option.map (fun (h : Pf_net.Frame.header) -> h.ethertype)
+          (Pf_net.Frame.header (Pf_net.Nic.variant nic) frame)
+      in
+      let kernel_handler =
+        match ethertype with
+        | Some ty -> List.assoc_opt ty t.protocols
+        | None -> None
+      in
+      match kernel_handler with
+      | Some handler ->
+        Stats.incr t.stats "host.rx.kernel_proto";
+        ignore (Pfdev.demux pf ~kernel_claimed:true frame : bool);
+        handler frame
+      | None ->
+        if not (Pfdev.demux pf frame) then Stats.incr t.stats "host.rx.unclaimed")
+
+let create ?(costs = Costs.microvax_ii) link ~name ~addr =
+  let engine = Pf_net.Link.engine link in
+  let cpu = Cpu.create costs in
+  let stats = Stats.create () in
+  let nic = Pf_net.Nic.create link ~addr in
+  let pf =
+    Pfdev.create engine cpu costs stats ~variant:(Pf_net.Link.variant link) ~address:addr
+      ~send:(fun frame -> Pf_net.Nic.send_frame nic frame)
+  in
+  let t =
+    { name; engine; cpu; costs; stats; nic; pf; extra_interfaces = []; protocols = [] }
+  in
+  Pf_net.Nic.set_rx nic (rx t nic pf);
+  t
+
+let add_interface t link ~addr =
+  let nic = Pf_net.Nic.create link ~addr in
+  let pf =
+    Pfdev.create t.engine t.cpu t.costs t.stats ~variant:(Pf_net.Link.variant link)
+      ~address:addr
+      ~send:(fun frame -> Pf_net.Nic.send_frame nic frame)
+  in
+  Pf_net.Nic.set_rx nic (rx t nic pf);
+  t.extra_interfaces <- t.extra_interfaces @ [ (nic, pf) ];
+  (nic, pf)
+
+let interfaces t = (t.nic, t.pf) :: t.extra_interfaces
+let join_multicast t group = Pf_net.Nic.join_multicast t.nic group
+
+let spawn t ~name body = Process.spawn t.engine t.cpu ~name body
+
+let register_protocol t ~ethertype handler =
+  t.protocols <- (ethertype, handler) :: List.remove_assoc ethertype t.protocols
+
+let unregister_protocol t ~ethertype = t.protocols <- List.remove_assoc ethertype t.protocols
+
+let in_kernel t ~cost k =
+  let finish = Cpu.run t.cpu ~owner:`Interrupt ~start:(Engine.now t.engine) ~cost in
+  Engine.schedule t.engine ~at:finish k
+
+let kernel_send t ~cost frame =
+  in_kernel t ~cost (fun () ->
+      Stats.incr t.stats "host.tx.kernel";
+      Pf_net.Nic.send_frame t.nic frame)
+
+let set_promiscuous t flag = Pf_net.Nic.set_promiscuous t.nic flag

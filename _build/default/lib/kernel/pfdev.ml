@@ -1,0 +1,377 @@
+module Packet = Pf_pkt.Packet
+module Engine = Pf_sim.Engine
+module Cpu = Pf_sim.Cpu
+module Costs = Pf_sim.Costs
+module Stats = Pf_sim.Stats
+module Process = Pf_sim.Process
+module Condition = Pf_sim.Condition
+module Frame = Pf_net.Frame
+module Addr = Pf_net.Addr
+
+type capture = {
+  packet : Packet.t;
+  timestamp : Pf_sim.Time.t option;
+  dropped_before : int;
+}
+
+type port = {
+  dev : t;
+  id : int;
+  mutable filter : Pf_filter.Fast.t option;
+  mutable validated : Pf_filter.Validate.t option;
+  mutable priority : int;
+  mutable timeout : Pf_sim.Time.t option;
+  mutable queue_limit : int;
+  queue : capture Queue.t;
+  cond : unit Condition.t;
+  mutable watchers : (unit -> bool) list; (* pending selects *)
+  mutable copy_all : bool;
+  mutable tap : bool;
+  mutable timestamps : bool;
+  mutable signal : (unit -> unit) option;
+  mutable is_open : bool;
+  mutable dropped : int;
+  mutable accepted : int;
+}
+
+and t = {
+  engine : Engine.t;
+  cpu : Cpu.t;
+  costs : Costs.t;
+  stats : Stats.t;
+  variant : Frame.variant;
+  address : Addr.t;
+  send : Packet.t -> unit;
+  mutable ports : port list; (* sorted: priority desc, then id asc *)
+  mutable next_id : int;
+  mutable demuxed_since_reorder : int;
+  mutable strategy : [ `Sequential | `Decision_tree ];
+  mutable tree : port Pf_filter.Decision.t option; (* cache; None = dirty *)
+}
+
+let create engine cpu costs stats ~variant ~address ~send =
+  {
+    engine;
+    cpu;
+    costs;
+    stats;
+    variant;
+    address;
+    send;
+    ports = [];
+    next_id = 0;
+    demuxed_since_reorder = 0;
+    strategy = `Sequential;
+    tree = None;
+  }
+
+(* Stable order: decreasing priority, then open order. The occasional
+   busier-first reordering of equal-priority filters (section 3.2) happens in
+   [maybe_reorder]. *)
+let sort_ports t =
+  t.tree <- None;
+  t.ports <-
+    List.stable_sort
+      (fun a b -> match compare b.priority a.priority with 0 -> compare a.id b.id | c -> c)
+      t.ports
+
+let maybe_reorder t =
+  t.demuxed_since_reorder <- t.demuxed_since_reorder + 1;
+  if t.demuxed_since_reorder >= 256 then begin
+    t.demuxed_since_reorder <- 0;
+    t.ports <-
+      List.stable_sort
+        (fun a b ->
+          match compare b.priority a.priority with
+          | 0 -> compare b.accepted a.accepted (* busier first *)
+          | c -> c)
+        t.ports
+  end
+
+(* Charge CPU when called from process context; plain setup code (before the
+   simulation starts) runs free. *)
+let charge cost = if Process.running () && cost > 0 then Process.use_cpu cost
+
+let open_port t =
+  t.next_id <- t.next_id + 1;
+  let port =
+    {
+      dev = t;
+      id = t.next_id;
+      filter = None;
+      validated = None;
+      priority = 0;
+      timeout = None;
+      queue_limit = 32;
+      queue = Queue.create ();
+      cond = Condition.create ();
+      watchers = [];
+      copy_all = false;
+      tap = false;
+      timestamps = false;
+      signal = None;
+      is_open = true;
+      dropped = 0;
+      accepted = 0;
+    }
+  in
+  t.ports <- t.ports @ [ port ];
+  sort_ports t;
+  port
+
+let close_port port =
+  port.is_open <- false;
+  port.dev.ports <- List.filter (fun p -> p.id <> port.id) port.dev.ports;
+  port.dev.tree <- None;
+  (* Wake any blocked readers; they will notice the port is closed. *)
+  ignore (Condition.broadcast port.cond () : int)
+
+let set_filter port program =
+  match Pf_filter.Validate.check program with
+  | Error _ as e -> e
+  | Ok validated ->
+    let t = port.dev in
+    (* "at a cost comparable to that of receiving a packet" (§3.1) *)
+    charge (t.costs.Costs.syscall + Costs.copy_cost t.costs ~bytes:(2 * Pf_filter.Program.code_words program) + t.costs.Costs.recv_interrupt);
+    port.filter <- Some (Pf_filter.Fast.compile validated);
+    port.validated <- Some validated;
+    port.priority <- Pf_filter.Program.priority program;
+    sort_ports t;
+    Ok ()
+
+let set_strategy t strategy =
+  t.strategy <- strategy;
+  t.tree <- None
+
+let set_timeout port timeout = port.timeout <- timeout
+let set_queue_limit port n = port.queue_limit <- max 1 n
+let set_copy_all port flag =
+  port.copy_all <- flag;
+  port.dev.tree <- None
+let set_tap port flag =
+  port.tap <- flag;
+  port.dev.tree <- None
+let set_timestamps port flag = port.timestamps <- flag
+let set_signal port cb = port.signal <- cb
+
+(* {1 Kernel side} *)
+
+let enqueue port capture =
+  if Queue.length port.queue >= port.queue_limit then begin
+    port.dropped <- port.dropped + 1;
+    Stats.incr port.dev.stats "pf.drop.overflow"
+  end
+  else begin
+    Queue.push capture port.queue;
+    ignore (Condition.signal port.cond () : bool);
+    (match port.signal with Some f -> f () | None -> ());
+    match port.watchers with
+    | [] -> ()
+    | watchers ->
+      port.watchers <- [];
+      List.iter (fun deliver -> ignore (deliver () : bool)) watchers
+  end
+
+(* The merged-dispatch mode (section 7's "decision table") only preserves
+   sequential semantics when every packet goes to at most one port, so any
+   copy-all or tap port disables it. *)
+let tree_usable t = List.for_all (fun p -> (not p.copy_all) && not p.tap) t.ports
+
+let tree_of t =
+  match t.tree with
+  | Some tree -> tree
+  | None ->
+    let entries =
+      List.filter_map
+        (fun p ->
+          match p.validated with Some v when p.is_open -> Some (v, p) | Some _ | None -> None)
+        t.ports
+    in
+    let tree = Pf_filter.Decision.build entries in
+    t.tree <- Some tree;
+    tree
+
+let demux t ?(kernel_claimed = false) frame =
+  let costs = t.costs in
+  Stats.incr t.stats "pf.packets";
+  (* Busier-first reordering only matters (and only makes sense) for the
+     sequential strategy; the tree is keyed on guards, not position. *)
+  if t.strategy = `Sequential then maybe_reorder t;
+  let arrival = Engine.now t.engine in
+  let cpu_cost = ref 0 in
+  let acceptors = ref [] in
+  let rec apply = function
+    | [] -> ()
+    | port :: rest ->
+      if (not port.is_open) || port.filter = None || (kernel_claimed && not port.tap)
+      then apply rest
+      else begin
+        let filter = Option.get port.filter in
+        cpu_cost := !cpu_cost + costs.Costs.filter_apply;
+        Stats.incr t.stats "pf.filters_tested";
+        let ok, insns = Pf_filter.Fast.run_counted filter frame in
+        cpu_cost := !cpu_cost + (insns * costs.Costs.filter_insn);
+        Stats.incr ~by:insns t.stats "pf.filter_insns";
+        if ok then begin
+          port.accepted <- port.accepted + 1;
+          if port.timestamps then cpu_cost := !cpu_cost + costs.Costs.timestamp;
+          acceptors := port :: !acceptors;
+          (* Stop unless this filter asked for copies to lower priorities. *)
+          if port.copy_all then apply rest
+        end
+        else apply rest
+      end
+  in
+  if t.strategy = `Decision_tree && (not kernel_claimed) && tree_usable t then begin
+    (* One guard-trie walk instead of priority-ordered interpretation;
+       verdicts are identical (property-tested in Decision). *)
+    let result, stats = Pf_filter.Decision.classify_stats (tree_of t) frame in
+    cpu_cost :=
+      (stats.Pf_filter.Decision.filters_run * costs.Costs.filter_apply)
+      + (stats.Pf_filter.Decision.insns * costs.Costs.filter_insn);
+    Stats.incr ~by:stats.Pf_filter.Decision.filters_run t.stats "pf.filters_tested";
+    Stats.incr ~by:stats.Pf_filter.Decision.insns t.stats "pf.filter_insns";
+    match result with
+    | Some port ->
+      port.accepted <- port.accepted + 1;
+      if port.timestamps then cpu_cost := !cpu_cost + costs.Costs.timestamp;
+      acceptors := [ port ]
+    | None -> ()
+  end
+  else apply t.ports;
+  let acceptors = List.rev !acceptors in
+  let accepted = acceptors <> [] in
+  if accepted then Stats.incr t.stats "pf.accepted"
+  else if not kernel_claimed then Stats.incr t.stats "pf.drop.nomatch";
+  (* The filter interpretation and bookkeeping happen at interrupt level;
+     delivery (queueing + reader wakeup) completes when that CPU work
+     retires. *)
+  let wake = if accepted then costs.Costs.wakeup else 0 in
+  Stats.incr ~by:(!cpu_cost + wake) t.stats "pf.demux_cpu_us";
+  let finish = Cpu.run t.cpu ~owner:`Interrupt ~start:arrival ~cost:(!cpu_cost + wake) in
+  if accepted then
+    Engine.schedule t.engine ~at:finish (fun () ->
+        List.iter
+          (fun port ->
+            let timestamp = if port.timestamps then Some arrival else None in
+            enqueue port { packet = frame; timestamp; dropped_before = port.dropped })
+          acceptors);
+  accepted
+
+(* {1 User side} *)
+
+let copy_out_cost port bytes = Costs.copy_cost port.dev.costs ~bytes
+
+let rec read_blocking port =
+  match Queue.take_opt port.queue with
+  | Some capture ->
+    let copy = copy_out_cost port (Packet.length capture.packet) in
+    Process.use_cpu copy;
+    Stats.incr ~by:copy port.dev.stats "pf.copy_cpu_us";
+    Stats.incr port.dev.stats "pf.reads.delivered";
+    Some capture
+  | None ->
+    if not port.is_open then None
+    else begin
+      match Condition.await ?timeout:port.timeout port.cond with
+      | Some () -> read_blocking port
+      | None -> None (* "the read call terminates and reports an error" *)
+    end
+
+let read port =
+  Process.use_cpu port.dev.costs.Costs.syscall;
+  Stats.incr port.dev.stats "pf.syscalls";
+  read_blocking port
+
+(* Copy out exactly the packets that were pending when the system call ran —
+   not a live tail of later arrivals, which could otherwise keep a busy
+   reader inside one read forever. *)
+let rec drain port acc remaining =
+  if remaining = 0 then List.rev acc
+  else begin
+    match Queue.take_opt port.queue with
+    | Some capture ->
+      let copy = copy_out_cost port (Packet.length capture.packet) in
+      Process.use_cpu copy;
+      Stats.incr ~by:copy port.dev.stats "pf.copy_cpu_us";
+      Stats.incr port.dev.stats "pf.reads.delivered";
+      drain port (capture :: acc) (remaining - 1)
+    | None -> List.rev acc
+  end
+
+let rec read_batch_blocking port =
+  let pending = Queue.length port.queue in
+  if pending > 0 then drain port [] pending
+  else if not port.is_open then []
+  else begin
+    match Condition.await ?timeout:port.timeout port.cond with
+    | Some () -> read_batch_blocking port
+    | None -> []
+  end
+
+let read_batch port =
+  Process.use_cpu port.dev.costs.Costs.syscall;
+  Stats.incr port.dev.stats "pf.syscalls";
+  read_batch_blocking port
+
+let write_one port frame =
+  let t = port.dev in
+  let bytes = Packet.length frame in
+  Process.use_cpu
+    (Costs.copy_cost t.costs ~bytes
+    + t.costs.Costs.send_path
+    + (t.costs.Costs.send_per_kbyte * bytes / 1024));
+  Stats.incr t.stats "pf.writes";
+  t.send frame
+
+let write port frame =
+  Process.use_cpu port.dev.costs.Costs.syscall;
+  Stats.incr port.dev.stats "pf.syscalls";
+  write_one port frame
+
+let write_batch port frames =
+  Process.use_cpu port.dev.costs.Costs.syscall;
+  Stats.incr port.dev.stats "pf.syscalls";
+  List.iter (write_one port) frames
+
+let poll port = Queue.length port.queue
+
+let select ?timeout ports =
+  (match ports with
+  | [] -> invalid_arg "Pfdev.select: no ports"
+  | port :: _ -> Process.use_cpu port.dev.costs.Costs.syscall);
+  let ready () = List.filter (fun p -> not (Queue.is_empty p.queue)) ports in
+  match ready () with
+  | _ :: _ as r -> r
+  | [] -> (
+    let wait =
+      Process.suspend ?timeout (fun deliver ->
+          List.iter (fun p -> p.watchers <- deliver :: p.watchers) ports)
+    in
+    match wait with Some () -> ready () | None -> [])
+
+(* {1 Status} *)
+
+type status = {
+  variant : Frame.variant;
+  header_length : int;
+  address_length : int;
+  mtu : int;
+  address : Addr.t;
+  broadcast : Addr.t;
+}
+
+let status (t : t) =
+  {
+    variant = t.variant;
+    header_length = Frame.header_length t.variant;
+    address_length = (match t.variant with Frame.Exp3 -> 1 | Frame.Dix10 -> 6);
+    mtu = Frame.max_payload t.variant;
+    address = t.address;
+    broadcast =
+      (match t.variant with
+      | Frame.Exp3 -> Addr.broadcast_exp
+      | Frame.Dix10 -> Addr.broadcast_eth);
+  }
+
+let active_ports t = List.length (List.filter (fun p -> p.filter <> None) t.ports)

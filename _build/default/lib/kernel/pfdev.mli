@@ -1,0 +1,121 @@
+(** The packet filter pseudodevice (section 4).
+
+    A character-special-device driver layered above the network interface
+    driver. Each open {e port} carries a user-installed filter; received
+    frames are checked against each filter in order of decreasing priority
+    until one accepts (figure 4-1), then queued on the accepting port for a
+    later [read]. Reads block with an optional timeout, return whole frames
+    including the data-link header, and can return all queued packets in one
+    batch. Writes transmit a complete pre-framed packet.
+
+    All user-facing calls ([read], [read_batch], [write], [select],
+    [set_filter]) must run inside a simulated process and charge the
+    appropriate system-call, copy, and context-switch costs; the kernel-side
+    [demux] runs in interrupt context. *)
+
+type t
+type port
+
+val create :
+  Pf_sim.Engine.t ->
+  Pf_sim.Cpu.t ->
+  Pf_sim.Costs.t ->
+  Pf_sim.Stats.t ->
+  variant:Pf_net.Frame.variant ->
+  address:Pf_net.Addr.t ->
+  send:(Pf_pkt.Packet.t -> unit) ->
+  t
+
+(** {1 Port lifecycle and control (the open/close/ioctl surface)} *)
+
+val open_port : t -> port
+(** A fresh port with the empty (reject-nothing… accept-everything) filter
+    {e not} yet installed: a port with no filter matches nothing. *)
+
+val close_port : port -> unit
+
+val set_filter : port -> Pf_filter.Program.t -> (unit, Pf_filter.Validate.error) result
+(** Validates ahead of time (section 7) and installs; charges a cost
+    "comparable to that of receiving a packet" (section 3.1). *)
+
+val set_strategy : t -> [ `Sequential | `Decision_tree ] -> unit
+(** Demultiplexing strategy. [`Sequential] (the default) applies filters in
+    priority order, figure 4-1. [`Decision_tree] merges the active filters
+    into section 7's "decision table" ({!Pf_filter.Decision}) — identical
+    verdicts, fewer instructions interpreted; it silently falls back to
+    sequential while any copy-all or tap port exists (those need
+    multi-delivery, which the first-match tree cannot express). *)
+
+val set_timeout : port -> Pf_sim.Time.t option -> unit
+(** Default [None]: block indefinitely. *)
+
+val set_queue_limit : port -> int -> unit
+(** Maximum queued packets before overflow drops; default 32. *)
+
+val set_copy_all : port -> bool -> unit
+(** Deliver packets this port accepts to lower-priority filters as well
+    (monitoring, multicast-style delivery; section 3.2). *)
+
+val set_tap : port -> bool -> unit
+(** See even the packets claimed by kernel-resident protocols (with
+    [set_copy_all] this is what a network monitor uses). *)
+
+val set_timestamps : port -> bool -> unit
+(** Mark each received packet with the arrival time (costs a [microtime]
+    call, section 7). *)
+
+val set_signal : port -> (unit -> unit) option -> unit
+(** Interrupt-like notification on packet arrival (the "signal" facility of
+    section 3.3); runs in kernel context at enqueue time. *)
+
+(** {1 Data transfer} *)
+
+type capture = {
+  packet : Pf_pkt.Packet.t;
+  timestamp : Pf_sim.Time.t option;
+  dropped_before : int;  (** overflow drops on this port so far (§3.3) *)
+}
+
+val read : port -> capture option
+(** Blocking read of one packet; [None] when the port timeout expires. *)
+
+val read_batch : port -> capture list
+(** Blocking read of {e all} queued packets in one system call (§3's
+    batching); [[]] on timeout. *)
+
+val write : port -> Pf_pkt.Packet.t -> unit
+(** Queue a complete frame for transmission; "control returns to the user
+    once the packet is queued" (§3). Unreliable, like the data link. *)
+
+val write_batch : port -> Pf_pkt.Packet.t list -> unit
+(** The write-batching option contemplated in section 7: several packets in
+    one system call. *)
+
+val poll : port -> int
+(** Queued-packet count, without blocking or cost (select's helper). *)
+
+val select : ?timeout:Pf_sim.Time.t -> port list -> port list
+(** Block until at least one port has queued packets; returns the ready
+    subset, [[]] on timeout. *)
+
+(** {1 Kernel interface} *)
+
+val demux : t -> ?kernel_claimed:bool -> Pf_pkt.Packet.t -> bool
+(** Apply the filters (figure 4-1) and queue on accepting ports; to be called
+    at interrupt level by the host after charging device-driver costs.
+    [kernel_claimed] marks packets consumed by kernel-resident protocols:
+    only tap ports see those. Returns whether any port accepted. *)
+
+(** {1 Status (section 3.3)} *)
+
+type status = {
+  variant : Pf_net.Frame.variant;
+  header_length : int;
+  address_length : int;
+  mtu : int;
+  address : Pf_net.Addr.t;
+  broadcast : Pf_net.Addr.t;
+}
+
+val status : t -> status
+val active_ports : t -> int

@@ -1,0 +1,66 @@
+module Packet = Pf_pkt.Packet
+module Costs = Pf_sim.Costs
+module Stats = Pf_sim.Stats
+module Process = Pf_sim.Process
+module Condition = Pf_sim.Condition
+
+type t = {
+  host : Host.t;
+  capacity : int;
+  queue : Packet.t Queue.t;
+  readable : unit Condition.t;
+  writable : unit Condition.t;
+  mutable closed : bool;
+}
+
+let create ?(capacity = 16) host =
+  {
+    host;
+    capacity;
+    queue = Queue.create ();
+    readable = Condition.create ();
+    writable = Condition.create ();
+    closed = false;
+  }
+
+let costs t = Host.costs t.host
+
+let rec write t packet =
+  if t.closed then failwith "Pipe.write: pipe closed";
+  if Queue.length t.queue >= t.capacity then begin
+    ignore (Condition.await t.writable : unit option);
+    write t packet
+  end
+  else begin
+    let c = costs t in
+    (* One syscall plus the copy into the kernel, plus the fixed pipe
+       bookkeeping. *)
+    Process.use_cpu
+      (c.Costs.syscall + Costs.copy_cost c ~bytes:(Packet.length packet) + c.Costs.pipe_transfer);
+    Stats.incr (Host.stats t.host) "pipe.writes";
+    Queue.push packet t.queue;
+    ignore (Condition.signal t.readable () : bool)
+  end
+
+let rec read ?timeout t =
+  match Queue.take_opt t.queue with
+  | Some packet ->
+    let c = costs t in
+    Process.use_cpu (c.Costs.syscall + Costs.copy_cost c ~bytes:(Packet.length packet));
+    Stats.incr (Host.stats t.host) "pipe.reads";
+    ignore (Condition.signal t.writable () : bool);
+    Some packet
+  | None ->
+    if t.closed then None
+    else begin
+      match Condition.await ?timeout t.readable with
+      | Some () -> read ?timeout t
+      | None -> None
+    end
+
+let close t =
+  t.closed <- true;
+  ignore (Condition.broadcast t.readable () : int);
+  ignore (Condition.broadcast t.writable () : int)
+
+let queued t = Queue.length t.queue

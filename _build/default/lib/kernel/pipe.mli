@@ -1,0 +1,22 @@
+(** Unix-pipe-style IPC between simulated processes.
+
+    "Since Unix does not support memory sharing, the demultiplexing process
+    requires two additional data transfers to get the packet into the final
+    receiving process" (§6.5.1): a write copies the packet into the kernel, a
+    read copies it out, and each end pays a system call. The user-level
+    demultiplexer baseline ({!Userdemux}) is built on this. *)
+
+type t
+
+val create : ?capacity:int -> Host.t -> t
+(** [capacity] is the maximum queued packets before writes block
+    (default 16). *)
+
+val write : t -> Pf_pkt.Packet.t -> unit
+(** Blocks while the pipe is full. *)
+
+val read : ?timeout:Pf_sim.Time.t -> t -> Pf_pkt.Packet.t option
+val close : t -> unit
+(** Readers of a closed empty pipe get [None] (EOF). *)
+
+val queued : t -> int

@@ -1,0 +1,55 @@
+module Process = Pf_sim.Process
+
+type t = {
+  host : Host.t;
+  pipes : Pipe.t array;
+  port : Pfdev.port;
+  proc : Process.t;
+  mutable running : bool;
+  mutable forwarded : int;
+}
+
+let start host ?(batch = false) ?(filter = Pf_filter.Predicates.accept_all)
+    ?(queue_limit = 32) ~route ~clients () =
+  let pipes = Array.init clients (fun _ -> Pipe.create host) in
+  let port = Pfdev.open_port (Host.pf host) in
+  Pfdev.set_queue_limit port queue_limit;
+  (match Pfdev.set_filter port filter with
+  | Ok () -> ()
+  | Error e ->
+    invalid_arg (Format.asprintf "Userdemux.start: %a" Pf_filter.Validate.pp_error e));
+  let rec t = lazy { host; pipes; port; proc = Lazy.force proc; running = true; forwarded = 0 }
+  and proc =
+    lazy
+      (Host.spawn host ~name:"demux" (fun () ->
+           let t = Lazy.force t in
+           let forward capture =
+             match route capture.Pfdev.packet with
+             | Some i when i >= 0 && i < Array.length t.pipes -> (
+               (* A vanished client (closed pipe) is the demultiplexer's
+                  SIGPIPE: drop the packet and keep serving the others. *)
+               try
+                 Pipe.write t.pipes.(i) capture.Pfdev.packet;
+                 t.forwarded <- t.forwarded + 1
+               with Failure _ -> ())
+             | Some _ | None -> ()
+           in
+           while t.running do
+             if batch then List.iter forward (Pfdev.read_batch t.port)
+             else
+               match Pfdev.read t.port with
+               | Some capture -> forward capture
+               | None -> ()
+           done))
+  in
+  Lazy.force t
+
+let client_pipe t i = t.pipes.(i)
+
+let stop t =
+  t.running <- false;
+  Pfdev.close_port t.port;
+  Array.iter Pipe.close t.pipes
+
+let process t = t.proc
+let forwarded t = t.forwarded

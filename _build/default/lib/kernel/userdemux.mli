@@ -1,0 +1,34 @@
+(** The user-level demultiplexing process — the baseline the paper argues
+    against (figure 2-1, sections 2 and 6.5).
+
+    One process receives every packet (through a packet filter port with an
+    accept-all — or caller-supplied — filter, mirroring how the paper
+    measured it: "by simulating it within the client implementation ...
+    using an extra process to receive packets, which are then passed to the
+    actual process via a Unix pipe"), decides which client it belongs to,
+    and forwards it over a {!Pipe}. Each received packet therefore costs at
+    least two extra context switches and two extra data transfers.
+
+    The routing decision itself is charged zero CPU, per the paper's
+    deliberately conservative comparison ("even if one assumes zero cost for
+    decision-making in a user-level demultiplexer", §6.5.3). *)
+
+type t
+
+val start :
+  Host.t ->
+  ?batch:bool ->
+  ?filter:Pf_filter.Program.t ->
+  ?queue_limit:int ->
+  route:(Pf_pkt.Packet.t -> int option) ->
+  clients:int ->
+  unit ->
+  t
+(** [route pkt] picks the destination client (out of [clients] pipes);
+    [None] discards the packet. [batch] makes the demux process use batched
+    reads (table 6-9). *)
+
+val client_pipe : t -> int -> Pipe.t
+val stop : t -> unit
+val process : t -> Pf_sim.Process.t
+val forwarded : t -> int

@@ -1,0 +1,1 @@
+lib/monitor/capture.ml: Decode Format List Option Pf_filter Pf_kernel Pf_pkt Pf_sim

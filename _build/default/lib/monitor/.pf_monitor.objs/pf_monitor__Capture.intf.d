@@ -1,0 +1,1 @@
+lib/monitor/capture.mli: Format Pf_filter Pf_kernel Pf_net Pf_pkt Pf_sim

@@ -1,0 +1,1 @@
+lib/monitor/decode.ml: Format Int32 List Option Pf_net Pf_pkt Pf_proto Printf String

@@ -1,0 +1,1 @@
+lib/monitor/decode.mli: Pf_net Pf_pkt

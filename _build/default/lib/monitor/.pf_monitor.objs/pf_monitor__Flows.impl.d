@@ -1,0 +1,1 @@
+lib/monitor/flows.ml: Capture Decode Format Hashtbl List Pf_net Pf_pkt Pf_sim

@@ -1,0 +1,1 @@
+lib/monitor/flows.mli: Capture Format Pf_net Pf_sim

@@ -1,0 +1,1 @@
+lib/monitor/tracefile.ml: Buffer Capture Char Format In_channel Int32 Int64 List Out_channel Pf_net Pf_pkt String

@@ -1,0 +1,1 @@
+lib/monitor/tracefile.mli: Capture Format Pf_net

@@ -1,0 +1,1 @@
+lib/monitor/traffic.ml: Capture Decode Format Hashtbl List Pf_net Pf_pkt

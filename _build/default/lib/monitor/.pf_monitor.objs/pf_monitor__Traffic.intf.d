@@ -1,0 +1,1 @@
+lib/monitor/traffic.mli: Capture Format Pf_net Pf_pkt

@@ -1,0 +1,72 @@
+module Host = Pf_kernel.Host
+module Pfdev = Pf_kernel.Pfdev
+module Process = Pf_sim.Process
+
+type record = {
+  seq : int;
+  timestamp : Pf_sim.Time.t;
+  frame : Pf_pkt.Packet.t;
+  dropped_before : int;
+}
+
+type t = {
+  host : Host.t;
+  port : Pfdev.port;
+  mutable running : bool;
+  mutable trace : record list; (* newest first *)
+  mutable seq : int;
+}
+
+let start ?(filter = Pf_filter.Predicates.accept_all) ?(promiscuous = true)
+    ?(batch = true) ?(queue_limit = 64) host =
+  let port = Pfdev.open_port (Host.pf host) in
+  (match Pfdev.set_filter port filter with
+  | Ok () -> ()
+  | Error e ->
+    invalid_arg (Format.asprintf "Capture.start: %a" Pf_filter.Validate.pp_error e));
+  Pfdev.set_tap port true;
+  Pfdev.set_copy_all port true;
+  Pfdev.set_timestamps port true;
+  Pfdev.set_queue_limit port queue_limit;
+  if promiscuous then Host.set_promiscuous host true;
+  let t = { host; port; running = true; trace = []; seq = 0 } in
+  let record (capture : Pfdev.capture) =
+    t.trace <-
+      {
+        seq = t.seq;
+        timestamp = Option.value ~default:0 capture.Pfdev.timestamp;
+        frame = capture.Pfdev.packet;
+        dropped_before = capture.Pfdev.dropped_before;
+      }
+      :: t.trace;
+    t.seq <- t.seq + 1
+  in
+  let (_ : Process.t) =
+    Host.spawn host ~name:"monitor" (fun () ->
+        while t.running do
+          if batch then List.iter record (Pfdev.read_batch t.port)
+          else
+            match Pfdev.read t.port with
+            | Some capture -> record capture
+            | None -> ()
+        done)
+  in
+  t
+
+let records t = List.rev t.trace
+let count t = t.seq
+
+let drops t =
+  match t.trace with [] -> 0 | newest :: _ -> newest.dropped_before
+
+let stop t =
+  t.running <- false;
+  Pfdev.close_port t.port;
+  records t
+
+let pp_trace variant ppf trace =
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%8.3fms #%d %s@." (Pf_sim.Time.to_ms r.timestamp) r.seq
+        (Decode.summarize variant r.frame))
+    trace

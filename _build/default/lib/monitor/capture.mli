@@ -1,0 +1,39 @@
+(** Packet capture over the packet filter — the integrated network monitor of
+    section 5.4.
+
+    The capture port is a {e tap} with copy-to-lower-priorities set, so it
+    sees kernel-claimed traffic (IP) and never steals packets from the
+    processes being monitored; the NIC goes promiscuous to observe
+    host-to-host conversations; each packet is timestamped by the kernel and
+    carries the queue-overflow count (§3.3's status facilities). *)
+
+type record = {
+  seq : int;
+  timestamp : Pf_sim.Time.t;
+  frame : Pf_pkt.Packet.t;
+  dropped_before : int;  (** capture-queue overflow drops before this packet *)
+}
+
+type t
+
+val start :
+  ?filter:Pf_filter.Program.t ->
+  ?promiscuous:bool ->
+  ?batch:bool ->
+  ?queue_limit:int ->
+  Pf_kernel.Host.t ->
+  t
+(** [filter] defaults to accept-all (the table 6-10 length-0 filter);
+    [promiscuous] defaults true; [batch] (default true) uses batched reads —
+    how the real monitor kept up with "a moderately busy Ethernet (with rare
+    lapses)". *)
+
+val stop : t -> record list
+(** Stop capturing and return the trace in arrival order. *)
+
+val records : t -> record list
+val count : t -> int
+val drops : t -> int
+
+val pp_trace : Pf_net.Frame.variant -> Format.formatter -> record list -> unit
+(** Timestamped, decoded, one line per packet. *)

@@ -1,0 +1,141 @@
+module Packet = Pf_pkt.Packet
+module Frame = Pf_net.Frame
+module Addr = Pf_net.Addr
+module Ethertype = Pf_net.Ethertype
+module Ipv4 = Pf_proto.Ipv4
+module Arp = Pf_proto.Arp
+module Pup = Pf_proto.Pup
+
+let ethertype variant frame =
+  Option.map (fun (h : Frame.header) -> h.ethertype) (Frame.header variant frame)
+
+let ip_proto_name (ip : Ipv4.t) =
+  if ip.Ipv4.protocol = Ipv4.proto_udp then "IP/UDP"
+  else if ip.Ipv4.protocol = Ipv4.proto_tcp then "IP/TCP"
+  else Printf.sprintf "IP/%d" ip.Ipv4.protocol
+
+let protocol_name variant frame =
+  match Frame.decode variant frame with
+  | None -> "?"
+  | Some (h, payload) ->
+    if h.Frame.ethertype = Ethertype.ip then begin
+      match Ipv4.decode payload with Ok ip -> ip_proto_name ip | Error _ -> "IP?"
+    end
+    else if h.Frame.ethertype = Ethertype.arp then "ARP"
+    else if h.Frame.ethertype = Ethertype.rarp then "RARP"
+    else if h.Frame.ethertype = Ethertype.vmtp then "VMTP"
+    else if
+      h.Frame.ethertype = Ethertype.pup
+      || (h.Frame.ethertype = Ethertype.pup_exp3 && variant = Frame.Exp3)
+    then begin
+      match Pup.decode ~verify:false payload with
+      | Ok pup -> Printf.sprintf "PUP/%d" pup.Pup.ptype
+      | Error _ -> "PUP?"
+    end
+    else Ethertype.name h.Frame.ethertype
+
+let summarize_ip payload =
+  match Ipv4.decode payload with
+  | Error e -> Format.asprintf "IP <%a>" Ipv4.pp_error e
+  | Ok ip ->
+    let body = ip.Ipv4.payload in
+    let ports prefix =
+      if Packet.length body >= 4 then
+        Printf.sprintf "%s %s.%d > %s.%d" prefix
+          (Ipv4.string_of_addr ip.Ipv4.src) (Packet.word body 0)
+          (Ipv4.string_of_addr ip.Ipv4.dst) (Packet.word body 1)
+      else
+        Printf.sprintf "%s %s > %s" prefix
+          (Ipv4.string_of_addr ip.Ipv4.src) (Ipv4.string_of_addr ip.Ipv4.dst)
+    in
+    if ip.Ipv4.protocol = Ipv4.proto_udp then
+      Printf.sprintf "%s len %d" (ports "UDP") (Packet.length body - 8)
+    else if ip.Ipv4.protocol = Ipv4.proto_tcp then begin
+      if Packet.length body >= 20 then begin
+        let flags = Packet.word body 6 land 0x3f in
+        let names =
+          List.filter_map
+            (fun (bit, n) -> if flags land bit <> 0 then Some n else None)
+            [ (0x02, "S"); (0x01, "F"); (0x10, ".") ]
+        in
+        Printf.sprintf "%s %s seq %ld ack %ld len %d" (ports "TCP")
+          (String.concat "" names)
+          (Packet.word32 body 2) (Packet.word32 body 4)
+          (Packet.length body - 20)
+      end
+      else ports "TCP"
+    end
+    else
+      Printf.sprintf "IP proto %d %s > %s len %d" ip.Ipv4.protocol
+        (Ipv4.string_of_addr ip.Ipv4.src) (Ipv4.string_of_addr ip.Ipv4.dst)
+        (Packet.length body)
+
+let summarize_arp kind payload =
+  match Arp.decode payload with
+  | Error e -> Format.asprintf "%s <%a>" kind Arp.pp_error e
+  | Ok arp -> (
+    (* tcpdump-style phrasing per opcode *)
+    match arp.Arp.oper with
+    | 1 ->
+      Format.asprintf "%s who-has %a tell %a" kind Ipv4.pp_addr arp.Arp.tpa Ipv4.pp_addr
+        arp.Arp.spa
+    | 2 ->
+      Format.asprintf "%s %a is-at %s" kind Ipv4.pp_addr arp.Arp.spa
+        (Addr.to_string (Addr.eth arp.Arp.sha))
+    | 3 ->
+      Format.asprintf "%s whoami %s" kind (Addr.to_string (Addr.eth arp.Arp.tha))
+    | 4 ->
+      Format.asprintf "%s %s you-are %a" kind
+        (Addr.to_string (Addr.eth arp.Arp.tha))
+        Ipv4.pp_addr arp.Arp.tpa
+    | n ->
+      Format.asprintf "%s op%d %a -> %a" kind n Ipv4.pp_addr arp.Arp.spa Ipv4.pp_addr
+        arp.Arp.tpa)
+
+let summarize_pup payload =
+  match Pup.decode ~verify:false payload with
+  | Error e -> Format.asprintf "PUP <%a>" Pup.pp_error e
+  | Ok pup ->
+    Format.asprintf "PUP type %d id %ld %a > %a len %d" pup.Pup.ptype pup.Pup.id
+      Pup.pp_port pup.Pup.src Pup.pp_port pup.Pup.dst
+      (Packet.length pup.Pup.data)
+
+let summarize_vmtp payload =
+  if Packet.length payload < 16 then "VMTP (truncated)"
+  else begin
+    let kind =
+      match Packet.byte payload 8 with
+      | 1 -> "request"
+      | 2 -> "response"
+      | 3 -> "group-ack"
+      | n -> Printf.sprintf "kind%d" n
+    in
+    Printf.sprintf "VMTP %s %ld > %ld tid %d %d/%d len %d" kind
+      (Int32.logor (Int32.shift_left (Int32.of_int (Packet.word payload 2)) 16)
+         (Int32.of_int (Packet.word payload 3)))
+      (Int32.logor (Int32.shift_left (Int32.of_int (Packet.word payload 0)) 16)
+         (Int32.of_int (Packet.word payload 1)))
+      (Packet.word payload 5) (Packet.word payload 6) (Packet.word payload 7)
+      (Packet.length payload - 16)
+  end
+
+let summarize variant frame =
+  match Frame.decode variant frame with
+  | None -> Printf.sprintf "truncated frame (%d bytes)" (Packet.length frame)
+  | Some (h, payload) ->
+    let addrs =
+      Printf.sprintf "%s > %s" (Addr.to_string h.Frame.src) (Addr.to_string h.Frame.dst)
+    in
+    let body =
+      if h.Frame.ethertype = Ethertype.ip then summarize_ip payload
+      else if h.Frame.ethertype = Ethertype.arp then summarize_arp "ARP" payload
+      else if h.Frame.ethertype = Ethertype.rarp then summarize_arp "RARP" payload
+      else if h.Frame.ethertype = Ethertype.vmtp then summarize_vmtp payload
+      else if
+        h.Frame.ethertype = Ethertype.pup
+        || (h.Frame.ethertype = Ethertype.pup_exp3 && variant = Frame.Exp3)
+      then summarize_pup payload
+      else
+        Printf.sprintf "%s len %d" (Ethertype.name h.Frame.ethertype) (Packet.length payload)
+    in
+    addrs ^ " " ^ body

@@ -1,0 +1,13 @@
+(** Packet decoding for the network monitor (§5.4): one summary line per
+    frame, tcpdump-style, covering every protocol in the simulation (Ethernet
+    both variants, IP, UDP, TCP, ARP, RARP, Pup, BSP, VMTP). *)
+
+val ethertype : Pf_net.Frame.variant -> Pf_pkt.Packet.t -> int option
+
+val protocol_name : Pf_net.Frame.variant -> Pf_pkt.Packet.t -> string
+(** Short tag used for aggregation: ["IP/UDP"], ["IP/TCP"], ["ARP"],
+    ["RARP"], ["PUP/16"], ["VMTP"], ["?"]. *)
+
+val summarize : Pf_net.Frame.variant -> Pf_pkt.Packet.t -> string
+(** One line: addresses, protocol, the interesting fields. Never raises on
+    malformed packets — undecodable regions degrade to byte counts. *)

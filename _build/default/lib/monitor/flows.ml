@@ -1,0 +1,72 @@
+module Packet = Pf_pkt.Packet
+module Frame = Pf_net.Frame
+module Addr = Pf_net.Addr
+
+type key = { endpoint_a : string; endpoint_b : string; protocol : string }
+
+type flow = {
+  key : key;
+  packets : int;
+  bytes : int;
+  first : Pf_sim.Time.t;
+  last : Pf_sim.Time.t;
+  a_to_b : int;
+  b_to_a : int;
+}
+
+let endpoint addr = if Addr.is_broadcast addr then "*" else Addr.to_string addr
+
+let of_trace variant trace =
+  let table : (key, flow ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Capture.record) ->
+      match Frame.header variant r.Capture.frame with
+      | None -> ()
+      | Some h ->
+        let src = endpoint h.Frame.src and dst = endpoint h.Frame.dst in
+        let protocol = Decode.protocol_name variant r.Capture.frame in
+        let forward = src <= dst in
+        let key =
+          if forward then { endpoint_a = src; endpoint_b = dst; protocol }
+          else { endpoint_a = dst; endpoint_b = src; protocol }
+        in
+        let len = Packet.length r.Capture.frame in
+        (match Hashtbl.find_opt table key with
+        | Some f ->
+          f :=
+            {
+              !f with
+              packets = !f.packets + 1;
+              bytes = !f.bytes + len;
+              first = min !f.first r.Capture.timestamp;
+              last = max !f.last r.Capture.timestamp;
+              a_to_b = (!f.a_to_b + if forward then 1 else 0);
+              b_to_a = (!f.b_to_a + if forward then 0 else 1);
+            }
+        | None ->
+          Hashtbl.add table key
+            (ref
+               {
+                 key;
+                 packets = 1;
+                 bytes = len;
+                 first = r.Capture.timestamp;
+                 last = r.Capture.timestamp;
+                 a_to_b = (if forward then 1 else 0);
+                 b_to_a = (if forward then 0 else 1);
+               })))
+    trace;
+  Hashtbl.fold (fun _ f acc -> !f :: acc) table []
+  |> List.sort (fun a b -> compare b.bytes a.bytes)
+
+let duration f = f.last - f.first
+
+let pp ppf f =
+  Format.fprintf ppf "%-18s <-> %-18s %-8s %5d pkts (%d/%d) %8d bytes %8.1fms" f.key.endpoint_a
+    f.key.endpoint_b f.key.protocol f.packets f.a_to_b f.b_to_a f.bytes
+    (Pf_sim.Time.to_ms (duration f))
+
+let report ppf flows =
+  Format.fprintf ppf "@[<v>%d flows:@," (List.length flows);
+  List.iter (fun f -> Format.fprintf ppf "  %a@," pp f) flows;
+  Format.fprintf ppf "@]"

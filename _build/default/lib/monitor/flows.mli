@@ -1,0 +1,31 @@
+(** Conversation (flow) analysis over a captured trace — the kind of
+    "substantial analysis" section 5.4 says an integrated monitor makes
+    easy, and what you need to see "why two hosts are unable to
+    communicate".
+
+    A flow is the unordered pair of data-link endpoints plus the protocol
+    tag; both directions of a conversation aggregate into one flow. *)
+
+type key = {
+  endpoint_a : string;  (** lexicographically smaller address *)
+  endpoint_b : string;
+  protocol : string;  (** {!Decode.protocol_name} tag *)
+}
+
+type flow = {
+  key : key;
+  packets : int;
+  bytes : int;
+  first : Pf_sim.Time.t;
+  last : Pf_sim.Time.t;
+  a_to_b : int;  (** packets in each direction *)
+  b_to_a : int;
+}
+
+val of_trace : Pf_net.Frame.variant -> Capture.record list -> flow list
+(** Flows sorted by descending byte count. Broadcast destinations count as
+    the pseudo-endpoint ["*"]. Undecodable frames are skipped. *)
+
+val duration : flow -> Pf_sim.Time.t
+val pp : Format.formatter -> flow -> unit
+val report : Format.formatter -> flow list -> unit

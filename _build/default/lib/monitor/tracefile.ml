@@ -1,0 +1,61 @@
+module Packet = Pf_pkt.Packet
+module Frame = Pf_net.Frame
+
+let magic = "PFT1"
+
+let variant_byte = function Frame.Exp3 -> 0 | Frame.Dix10 -> 1
+
+let save variant records =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  Buffer.add_uint8 b (variant_byte variant);
+  Buffer.add_int32_be b (Int32.of_int (List.length records));
+  List.iter
+    (fun (r : Capture.record) ->
+      Buffer.add_int64_be b (Int64.of_int r.Capture.timestamp);
+      Buffer.add_int32_be b (Int32.of_int r.Capture.dropped_before);
+      Buffer.add_int32_be b (Int32.of_int (Packet.length r.Capture.frame));
+      Buffer.add_string b (Packet.to_string r.Capture.frame))
+    records;
+  Buffer.contents b
+
+type error = Bad_magic | Truncated | Bad_variant of int
+
+let pp_error ppf = function
+  | Bad_magic -> Format.fprintf ppf "not a PFT1 capture file"
+  | Truncated -> Format.fprintf ppf "capture file truncated"
+  | Bad_variant v -> Format.fprintf ppf "unknown link variant code %d" v
+
+let load data =
+  let n = String.length data in
+  let exception Fail of error in
+  try
+    if n < 9 then raise (Fail Truncated);
+    if String.sub data 0 4 <> magic then raise (Fail Bad_magic);
+    let variant =
+      match Char.code data.[4] with
+      | 0 -> Frame.Exp3
+      | 1 -> Frame.Dix10
+      | v -> raise (Fail (Bad_variant v))
+    in
+    let count = Int32.to_int (String.get_int32_be data 5) in
+    let pos = ref 9 in
+    let records = ref [] in
+    for seq = 0 to count - 1 do
+      if !pos + 16 > n then raise (Fail Truncated);
+      let timestamp = Int64.to_int (String.get_int64_be data !pos) in
+      let dropped_before = Int32.to_int (String.get_int32_be data (!pos + 8)) in
+      let len = Int32.to_int (String.get_int32_be data (!pos + 12)) in
+      pos := !pos + 16;
+      if len < 0 || !pos + len > n then raise (Fail Truncated);
+      let frame = Packet.of_string (String.sub data !pos len) in
+      pos := !pos + len;
+      records := { Capture.seq; timestamp; frame; dropped_before } :: !records
+    done;
+    Ok (variant, List.rev !records)
+  with Fail e -> Error e
+
+let write_file path variant records =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc (save variant records))
+
+let read_file path = load (In_channel.with_open_bin path In_channel.input_all)

@@ -1,0 +1,26 @@
+(** Capture files.
+
+    Section 5.4's argument for an integrated monitor is that "all the tools
+    of the workstation are available for manipulating and analyzing packet
+    traces" — which requires traces to live in files. This is a minimal
+    binary capture format (in the spirit of the later libpcap, which grew
+    out of exactly this lineage):
+
+    {v
+      magic   "PFT1"            4 bytes
+      variant 0 = Exp3, 1 = Dix10   1 byte
+      count   records           4 bytes BE
+      record: timestamp-µs (8 BE) | dropped-before (4 BE) | len (4 BE) | bytes
+    v} *)
+
+val save : Pf_net.Frame.variant -> Capture.record list -> string
+(** Serialize a trace (the [seq] field is positional and not stored). *)
+
+type error = Bad_magic | Truncated | Bad_variant of int
+
+val pp_error : Format.formatter -> error -> unit
+val load : string -> (Pf_net.Frame.variant * Capture.record list, error) result
+
+val write_file : string -> Pf_net.Frame.variant -> Capture.record list -> unit
+val read_file : string -> (Pf_net.Frame.variant * Capture.record list, error) result
+(** [read_file path]; raises [Sys_error] on I/O failure, like [open_in]. *)

@@ -1,0 +1,76 @@
+module Packet = Pf_pkt.Packet
+module Frame = Pf_net.Frame
+module Addr = Pf_net.Addr
+
+type t = {
+  variant : Frame.variant;
+  mutable packets : int;
+  mutable bytes : int;
+  protocols : (string, (int * int) ref) Hashtbl.t;
+  talkers : (string, int ref) Hashtbl.t;
+  histogram : (int, int ref) Hashtbl.t;
+}
+
+let create variant =
+  {
+    variant;
+    packets = 0;
+    bytes = 0;
+    protocols = Hashtbl.create 16;
+    talkers = Hashtbl.create 16;
+    histogram = Hashtbl.create 12;
+  }
+
+let bucket_of n =
+  let rec go b = if b >= n || b >= 65536 then b else go (2 * b) in
+  go 64
+
+let bump tbl key make update =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> update r
+  | None -> Hashtbl.add tbl key (make ())
+
+let add t frame =
+  let len = Packet.length frame in
+  t.packets <- t.packets + 1;
+  t.bytes <- t.bytes + len;
+  let proto = Decode.protocol_name t.variant frame in
+  bump t.protocols proto
+    (fun () -> ref (1, len))
+    (fun r ->
+      let p, b = !r in
+      r := (p + 1, b + len));
+  (match Frame.header t.variant frame with
+  | Some h -> bump t.talkers (Addr.to_string h.Frame.src) (fun () -> ref 1) incr
+  | None -> ());
+  bump t.histogram (bucket_of len) (fun () -> ref 1) incr
+
+let add_trace t trace = List.iter (fun (r : Capture.record) -> add t r.Capture.frame) trace
+let packets t = t.packets
+let bytes t = t.bytes
+
+let by_protocol t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.protocols []
+  |> List.sort (fun (_, (a, _)) (_, (b, _)) -> compare b a)
+
+let by_talker t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.talkers []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let size_histogram t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.histogram []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let report ppf t =
+  Format.fprintf ppf "@[<v>%d packets, %d bytes@," t.packets t.bytes;
+  Format.fprintf ppf "by protocol:@,";
+  List.iter
+    (fun (name, (p, b)) -> Format.fprintf ppf "  %-10s %6d pkts %8d bytes@," name p b)
+    (by_protocol t);
+  Format.fprintf ppf "top talkers:@,";
+  List.iter (fun (who, n) -> Format.fprintf ppf "  %-20s %6d pkts@," who n) (by_talker t);
+  Format.fprintf ppf "sizes:@,";
+  List.iter
+    (fun (bound, n) -> Format.fprintf ppf "  <=%-5d %6d pkts@," bound n)
+    (size_histogram t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,22 @@
+(** Traffic aggregation for monitor reports: per-protocol packet and byte
+    counts, size distribution, top talkers — the "elaborate programs to
+    analyze the trace data" section 5.4 advertises. *)
+
+type t
+
+val create : Pf_net.Frame.variant -> t
+val add : t -> Pf_pkt.Packet.t -> unit
+val add_trace : t -> Capture.record list -> unit
+val packets : t -> int
+val bytes : t -> int
+
+val by_protocol : t -> (string * (int * int)) list
+(** Protocol tag → (packets, bytes), sorted by descending packet count. *)
+
+val by_talker : t -> (string * int) list
+(** Source address → packets sent, sorted by descending count. *)
+
+val size_histogram : t -> (int * int) list
+(** Power-of-two size buckets: (upper bound, packets). *)
+
+val report : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/netsim/addr.ml: Bytes Char Format List Printf Stdlib String

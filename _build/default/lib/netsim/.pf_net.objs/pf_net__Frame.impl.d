@@ -1,0 +1,1 @@
+lib/netsim/frame.ml: Addr Pf_pkt

@@ -1,0 +1,1 @@
+lib/netsim/frame.mli: Addr Pf_pkt

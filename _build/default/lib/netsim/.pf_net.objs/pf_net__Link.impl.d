@@ -1,0 +1,1 @@
+lib/netsim/link.ml: Addr Float Frame List Pf_pkt Pf_sim

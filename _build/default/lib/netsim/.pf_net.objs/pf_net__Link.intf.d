@@ -1,0 +1,1 @@
+lib/netsim/link.mli: Addr Frame Pf_pkt Pf_sim

@@ -1,0 +1,1 @@
+lib/netsim/nic.ml: Addr Frame Lazy Link Pf_pkt

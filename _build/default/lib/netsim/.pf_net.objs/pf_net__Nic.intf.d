@@ -1,0 +1,1 @@
+lib/netsim/nic.mli: Addr Frame Link Pf_pkt

@@ -1,0 +1,43 @@
+type t = Exp of int | Eth of string
+
+let exp n =
+  if n < 0 || n > 255 then invalid_arg "Addr.exp: host number out of range";
+  Exp n
+
+let eth s =
+  if String.length s <> 6 then invalid_arg "Addr.eth: want exactly 6 bytes";
+  Eth s
+
+let eth_host n =
+  if n < 0 || n > 0xffff then invalid_arg "Addr.eth_host: host number out of range";
+  let b = Bytes.make 6 '\000' in
+  Bytes.set b 0 '\002';
+  Bytes.set_uint8 b 4 (n lsr 8);
+  Bytes.set_uint8 b 5 (n land 0xff);
+  Eth (Bytes.to_string b)
+
+let broadcast_exp = Exp 0
+let broadcast_eth = Eth (String.make 6 '\255')
+let is_broadcast = function Exp 0 -> true | Exp _ -> false | Eth s -> s = String.make 6 '\255'
+
+let is_multicast = function
+  | Exp 0 -> true
+  | Exp _ -> false
+  | Eth s -> Char.code s.[0] land 1 = 1
+
+let eth_multicast n =
+  if n < 0 || n > 0xffff then invalid_arg "Addr.eth_multicast: group out of range";
+  let b = Bytes.make 6 '\000' in
+  Bytes.set b 0 '\003';
+  Bytes.set_uint8 b 4 (n lsr 8);
+  Bytes.set_uint8 b 5 (n land 0xff);
+  Eth (Bytes.to_string b)
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let to_string = function
+  | Exp n -> Printf.sprintf "#%d" n
+  | Eth s ->
+    String.concat ":" (List.init 6 (fun i -> Printf.sprintf "%02x" (Char.code s.[i])))
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,41 @@
+(** Data-link addresses.
+
+    Two address families, matching the two networks the paper measures: the
+    3 Mbit/s Experimental Ethernet uses one-byte host numbers; the 10 Mbit/s
+    Ethernet uses 6-byte MACs. *)
+
+type t =
+  | Exp of int     (** experimental Ethernet host number, 0..255 *)
+  | Eth of string  (** 6-byte MAC *)
+
+val exp : int -> t
+(** Raises [Invalid_argument] outside 0..255. *)
+
+val eth : string -> t
+(** Raises [Invalid_argument] unless exactly 6 bytes. *)
+
+val eth_host : int -> t
+(** [eth_host n] is the locally-administered MAC 02:00:00:00:hh:ll — a
+    convenient stable address for simulated host [n]. *)
+
+val broadcast_exp : t
+(** Host number 0 is broadcast on the experimental Ethernet. *)
+
+val broadcast_eth : t
+(** ff:ff:ff:ff:ff:ff. *)
+
+val is_broadcast : t -> bool
+
+val is_multicast : t -> bool
+(** On the 10 Mb Ethernet, any address with the group bit set (low bit of
+    the first byte), broadcast included — the hardware multicast the
+    V-system leaned on (§5.2). The experimental Ethernet had only
+    broadcast. *)
+
+val eth_multicast : int -> t
+(** [eth_multicast n] is the multicast group address 03:00:00:00:hh:ll. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,15 @@
+let pup_exp3 = 2
+let ip = 0x0800
+let arp = 0x0806
+let rarp = 0x8035
+let pup = 0x0200
+let vmtp = 0x0700
+
+let name ty =
+  if ty = ip then "IP"
+  else if ty = arp then "ARP"
+  else if ty = rarp then "RARP"
+  else if ty = pup then "PUP"
+  else if ty = vmtp then "VMTP"
+  else if ty = pup_exp3 then "PUP3"
+  else Printf.sprintf "0x%04x" ty

@@ -1,0 +1,21 @@
+(** Packet type / Ethertype constants.
+
+    On the 3 Mbit/s experimental Ethernet the type word values are small
+    integers (Pup is 2, figure 3-8). On the 10 Mbit/s Ethernet the standard
+    Ethertypes apply; VMTP had no registered type in 1986, so the simulation
+    uses 0x0700 (documented substitution). *)
+
+val pup_exp3 : int
+(** 2 — Pup on the experimental Ethernet (figure 3-8's [PUSHLIT | EQ, 2]). *)
+
+val ip : int
+val arp : int
+val rarp : int
+val pup : int
+(** 0x0200, Pup on 10 Mbit/s Ethernet. *)
+
+val vmtp : int
+(** 0x0700 (simulation-assigned). *)
+
+val name : int -> string
+(** Human-readable name for monitors; hex for unknown types. *)

@@ -1,0 +1,1 @@
+lib/pkt/builder.ml: Buffer Bytes Packet

@@ -1,0 +1,1 @@
+lib/pkt/packet.ml: Bytes Char Format List

@@ -1,0 +1,78 @@
+type t = { data : bytes }
+
+let of_bytes data = { data }
+let of_string s = { data = Bytes.of_string s }
+
+let of_words ws =
+  let b = Bytes.create (2 * List.length ws) in
+  List.iteri
+    (fun i w ->
+      Bytes.set_uint8 b (2 * i) ((w lsr 8) land 0xff);
+      Bytes.set_uint8 b ((2 * i) + 1) (w land 0xff))
+    ws;
+  { data = b }
+
+let to_bytes t = Bytes.copy t.data
+let to_string t = Bytes.to_string t.data
+let length t = Bytes.length t.data
+let word_count t = length t / 2
+
+let concat ts = { data = Bytes.concat Bytes.empty (List.map (fun t -> t.data) ts) }
+let append a b = concat [ a; b ]
+
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > length t then
+    invalid_arg "Packet.sub: range out of bounds";
+  { data = Bytes.sub t.data pos len }
+
+let byte t i =
+  if i < 0 || i >= length t then invalid_arg "Packet.byte: index out of bounds";
+  Bytes.get_uint8 t.data i
+
+let byte_opt t i = if i < 0 || i >= length t then None else Some (Bytes.get_uint8 t.data i)
+
+let word t i =
+  if i < 0 || (2 * i) + 1 >= length t then invalid_arg "Packet.word: index out of bounds";
+  Bytes.get_uint16_be t.data (2 * i)
+
+let word_opt t i =
+  if i < 0 || (2 * i) + 1 >= length t then None else Some (Bytes.get_uint16_be t.data (2 * i))
+
+let word32 t i =
+  if i < 0 || (2 * i) + 3 >= length t then invalid_arg "Packet.word32: index out of bounds";
+  Bytes.get_int32_be t.data (2 * i)
+
+let equal a b = Bytes.equal a.data b.data
+let compare a b = Bytes.compare a.data b.data
+
+let pp ppf t =
+  let n = length t in
+  let prefix = min n 8 in
+  Format.fprintf ppf "<pkt %dB" n;
+  for i = 0 to prefix - 1 do
+    Format.fprintf ppf "%s%02x" (if i = 0 then " " else "") (byte t i)
+  done;
+  if n > prefix then Format.fprintf ppf "...";
+  Format.fprintf ppf ">"
+
+let pp_hex ppf t =
+  let n = length t in
+  let rows = (n + 15) / 16 in
+  for row = 0 to rows - 1 do
+    let base = row * 16 in
+    Format.fprintf ppf "%04x  " base;
+    for i = 0 to 15 do
+      if base + i < n then Format.fprintf ppf "%02x " (byte t (base + i))
+      else Format.fprintf ppf "   ";
+      if i = 7 then Format.fprintf ppf " "
+    done;
+    Format.fprintf ppf " |";
+    for i = 0 to 15 do
+      if base + i < n then begin
+        let c = Char.chr (byte t (base + i)) in
+        Format.fprintf ppf "%c" (if c >= ' ' && c < '\127' then c else '.')
+      end
+    done;
+    Format.fprintf ppf "|";
+    if row < rows - 1 then Format.fprintf ppf "@\n"
+  done

@@ -1,0 +1,68 @@
+(** Received/transmitted network packets.
+
+    A packet is an immutable sequence of bytes. The packet filter's view of a
+    packet is an array of 16-bit big-endian words (the paper's language is
+    biased toward 16-bit fields, see section 3.1), so this module provides
+    both byte-level and word-level accessors.
+
+    All accessors raise [Invalid_argument] on out-of-range offsets; the
+    [*_opt] variants return [None] instead. *)
+
+type t
+
+(** {1 Construction} *)
+
+val of_bytes : bytes -> t
+(** [of_bytes b] takes ownership of [b]; the caller must not mutate it. *)
+
+val of_string : string -> t
+
+val of_words : int list -> t
+(** [of_words ws] builds a packet from 16-bit big-endian words. Each word is
+    masked to 16 bits. *)
+
+val concat : t list -> t
+
+val sub : t -> pos:int -> len:int -> t
+(** [sub p ~pos ~len] extracts a byte range. Raises [Invalid_argument] if the
+    range is not within the packet. *)
+
+val append : t -> t -> t
+
+(** {1 Accessors} *)
+
+val length : t -> int
+(** Length in bytes. *)
+
+val word_count : t -> int
+(** Number of complete 16-bit words, i.e. [length / 2]. *)
+
+val byte : t -> int -> int
+(** [byte p i] is the [i]th byte, in the range 0..255. *)
+
+val byte_opt : t -> int -> int option
+
+val word : t -> int -> int
+(** [word p i] is the [i]th 16-bit big-endian word (bytes [2i] and [2i+1]).
+    Raises [Invalid_argument] if the word is not fully contained in the
+    packet. *)
+
+val word_opt : t -> int -> int option
+
+val word32 : t -> int -> int32
+(** [word32 p i] is the 32-bit big-endian value at word offset [i], i.e.
+    bytes [2i .. 2i+3]. *)
+
+val to_string : t -> string
+val to_bytes : t -> bytes
+
+(** {1 Comparisons and printing} *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: length plus a short hex prefix. *)
+
+val pp_hex : Format.formatter -> t -> unit
+(** Classic 16-bytes-per-row hex dump with an ASCII gutter. *)

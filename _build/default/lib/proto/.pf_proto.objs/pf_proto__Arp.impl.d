@@ -1,0 +1,1 @@
+lib/proto/arp.ml: Format Pf_pkt String

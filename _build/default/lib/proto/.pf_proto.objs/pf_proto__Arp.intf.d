@@ -1,0 +1,1 @@
+lib/proto/arp.mli: Format Pf_pkt

@@ -1,0 +1,1 @@
+lib/proto/bsp.ml: Int32 List Pf_pkt Pf_sim Pup Pup_socket Queue String

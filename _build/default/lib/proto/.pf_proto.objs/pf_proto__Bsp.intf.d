@@ -1,0 +1,1 @@
+lib/proto/bsp.mli: Pf_sim Pup Pup_socket

@@ -1,0 +1,1 @@
+lib/proto/eftp.ml: Buffer Int32 Pf_pkt Printf Pup Pup_socket String

@@ -1,0 +1,1 @@
+lib/proto/eftp.mli: Pf_sim Pup Pup_socket

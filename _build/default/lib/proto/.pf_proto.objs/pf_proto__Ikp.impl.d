@@ -1,0 +1,1 @@
+lib/proto/ikp.ml: Format Hashtbl Int32 Option Pf_filter Pf_kernel Pf_net Pf_pkt Pf_sim String

@@ -1,0 +1,1 @@
+lib/proto/ipstack.ml: Arp Hashtbl Ipv4 List Pf_kernel Pf_net Pf_pkt Pf_sim String

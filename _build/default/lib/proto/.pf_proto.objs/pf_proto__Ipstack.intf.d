@@ -1,0 +1,1 @@
+lib/proto/ipstack.mli: Ipv4 Pf_kernel Pf_net Pf_pkt

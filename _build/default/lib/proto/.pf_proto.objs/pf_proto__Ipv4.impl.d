@@ -1,0 +1,1 @@
+lib/proto/ipv4.ml: Format Int32 List Pf_pkt Printf String

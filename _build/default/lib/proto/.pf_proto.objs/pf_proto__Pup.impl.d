@@ -1,0 +1,1 @@
+lib/proto/pup.ml: Bytes Format Int32 Pf_pkt

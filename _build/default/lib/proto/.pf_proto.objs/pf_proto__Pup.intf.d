@@ -1,0 +1,1 @@
+lib/proto/pup.mli: Format Pf_pkt

@@ -1,0 +1,1 @@
+lib/proto/pup_echo.ml: Char Int32 List Option Pf_kernel Pf_pkt Pf_sim Pup Pup_socket String

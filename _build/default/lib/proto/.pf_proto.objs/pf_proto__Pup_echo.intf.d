@@ -1,0 +1,1 @@
+lib/proto/pup_echo.mli: Pf_kernel Pf_sim

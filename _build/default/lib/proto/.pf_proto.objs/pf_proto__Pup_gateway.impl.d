@@ -1,0 +1,1 @@
+lib/proto/pup_gateway.ml: Format List Option Pf_filter Pf_kernel Pf_net Pf_pkt Pf_sim Printf Pup

@@ -1,0 +1,1 @@
+lib/proto/pup_gateway.mli: Pf_kernel Pf_net

@@ -1,0 +1,1 @@
+lib/proto/pup_socket.ml: Char Format Hashtbl List Pf_filter Pf_kernel Pf_net Pf_pkt Pf_sim Pup String

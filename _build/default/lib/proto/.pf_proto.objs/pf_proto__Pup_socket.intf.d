@@ -1,0 +1,1 @@
+lib/proto/pup_socket.mli: Pf_kernel Pf_pkt Pf_sim Pup

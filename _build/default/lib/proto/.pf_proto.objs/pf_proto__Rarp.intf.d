@@ -1,0 +1,1 @@
+lib/proto/rarp.mli: Pf_kernel Pf_sim

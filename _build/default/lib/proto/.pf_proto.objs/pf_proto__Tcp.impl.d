@@ -1,0 +1,1 @@
+lib/proto/tcp.ml: Hashtbl Int32 Ipstack Ipv4 List Pf_kernel Pf_pkt Pf_sim Printf Queue String

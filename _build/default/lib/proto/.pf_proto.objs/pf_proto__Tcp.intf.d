@@ -1,0 +1,1 @@
+lib/proto/tcp.mli: Ipstack Pf_sim

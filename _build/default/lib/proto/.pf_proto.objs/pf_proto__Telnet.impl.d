@@ -1,0 +1,1 @@
+lib/proto/telnet.ml: Bsp Char Float Pf_sim String Tcp

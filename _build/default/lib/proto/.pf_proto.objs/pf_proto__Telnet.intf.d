@@ -1,0 +1,1 @@
+lib/proto/telnet.mli: Bsp Tcp

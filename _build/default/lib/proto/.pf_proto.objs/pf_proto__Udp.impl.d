@@ -1,0 +1,1 @@
+lib/proto/udp.ml: Hashtbl Ipstack Ipv4 Pf_kernel Pf_pkt Pf_sim Printf Queue

@@ -1,0 +1,1 @@
+lib/proto/udp.mli: Ipstack Pf_pkt Pf_sim

@@ -1,0 +1,1 @@
+lib/proto/vmtp.ml: Format Hashtbl List Option Pf_filter Pf_kernel Pf_net Pf_pkt Pf_sim Queue

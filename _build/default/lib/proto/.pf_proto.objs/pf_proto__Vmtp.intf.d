@@ -1,0 +1,1 @@
+lib/proto/vmtp.mli: Pf_kernel Pf_net Pf_pkt Pf_sim

@@ -1,0 +1,53 @@
+module Packet = Pf_pkt.Packet
+module Builder = Pf_pkt.Builder
+
+type t = { oper : int; sha : string; spa : int32; tha : string; tpa : int32 }
+
+let request = 1
+let reply = 2
+let rarp_request = 3
+let rarp_reply = 4
+
+let v ~oper ~sha ~spa ~tha ~tpa =
+  if String.length sha <> 6 || String.length tha <> 6 then
+    invalid_arg "Arp.v: hardware addresses must be 6 bytes";
+  { oper; sha; spa; tha; tpa }
+
+let encode t =
+  let b = Builder.create ~capacity:28 () in
+  Builder.add_word b 1; (* hardware: Ethernet *)
+  Builder.add_word b 0x0800; (* protocol: IPv4 *)
+  Builder.add_byte b 6;
+  Builder.add_byte b 4;
+  Builder.add_word b t.oper;
+  Builder.add_string b t.sha;
+  Builder.add_word32 b t.spa;
+  Builder.add_string b t.tha;
+  Builder.add_word32 b t.tpa;
+  Builder.to_packet b
+
+type error = Too_short of int | Bad_hardware of int | Bad_protocol of int
+
+let pp_error ppf = function
+  | Too_short n -> Format.fprintf ppf "ARP body too short (%d bytes)" n
+  | Bad_hardware h -> Format.fprintf ppf "ARP hardware type %d" h
+  | Bad_protocol p -> Format.fprintf ppf "ARP protocol type 0x%04x" p
+
+let decode packet =
+  let n = Packet.length packet in
+  if n < 28 then Error (Too_short n)
+  else begin
+    let htype = Packet.word packet 0 in
+    let ptype = Packet.word packet 1 in
+    if htype <> 1 then Error (Bad_hardware htype)
+    else if ptype <> 0x0800 then Error (Bad_protocol ptype)
+    else
+      Ok
+        {
+          oper = Packet.word packet 3;
+          sha = Packet.to_string (Packet.sub packet ~pos:8 ~len:6);
+          spa = Packet.word32 packet 7;
+          tha = Packet.to_string (Packet.sub packet ~pos:18 ~len:6);
+          tpa = Packet.word32 packet 12;
+        }
+  end

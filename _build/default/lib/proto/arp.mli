@@ -1,0 +1,34 @@
+(** ARP / RARP wire format (RFC 826 / RFC 903).
+
+    Both protocols share one body (Ethernet hardware, IPv4 protocol
+    addresses) and differ only in Ethertype and opcode. ARP is the
+    kernel-resident resolver used by {!Ipstack}; RARP is implemented as a
+    user-level protocol over the packet filter ({!Rarp}), re-enacting
+    section 5.3: a parallel layer that needed no kernel modification. *)
+
+type t = {
+  oper : int;
+  sha : string;  (** sender hardware address, 6 bytes *)
+  spa : int32;  (** sender protocol (IP) address *)
+  tha : string;  (** target hardware address *)
+  tpa : int32;
+}
+
+val request : int
+(** 1 *)
+
+val reply : int
+(** 2 *)
+
+val rarp_request : int
+(** 3 — "who am I" *)
+
+val rarp_reply : int
+(** 4 *)
+
+val v : oper:int -> sha:string -> spa:int32 -> tha:string -> tpa:int32 -> t
+val encode : t -> Pf_pkt.Packet.t
+
+type error = Too_short of int | Bad_hardware of int | Bad_protocol of int
+val pp_error : Format.formatter -> error -> unit
+val decode : Pf_pkt.Packet.t -> (t, error) result

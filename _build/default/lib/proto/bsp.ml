@@ -1,0 +1,191 @@
+module Packet = Pf_pkt.Packet
+
+let t_open = 8
+let t_open_ack = 9
+let t_data = 16
+let t_ack = 17
+let t_close = 19
+let t_close_ack = 20
+let max_chunk = Pup.max_data
+let max_retries = 10
+
+type t = {
+  sock : Pup_socket.t;
+  mutable peer : Pup.port;
+  window : int;
+  rto : Pf_sim.Time.t;
+  inbox : Pup.t Queue.t; (* data/close Pups that arrived while awaiting acks *)
+  mutable send_seq : int; (* next data packet sequence to assign *)
+  mutable recv_seq : int; (* next expected incoming data sequence *)
+  mutable peer_closed : bool;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+  mutable retransmissions : int;
+}
+
+let make ?(window = 1) ?(rto = 200_000) sock peer =
+  {
+    sock;
+    peer;
+    window = max 1 window;
+    rto;
+    inbox = Queue.create ();
+    send_seq = 0;
+    recv_seq = 0;
+    peer_closed = false;
+    bytes_sent = 0;
+    bytes_received = 0;
+    retransmissions = 0;
+  }
+
+let send_pup t ~ptype ~id data = Pup_socket.send t.sock ~dst:t.peer ~ptype ~id data
+
+let next_pup t ~timeout =
+  match Queue.take_opt t.inbox with
+  | Some pup -> Some pup
+  | None -> Pup_socket.recv ?timeout t.sock
+
+(* {1 Handshake} *)
+
+let connect ?window ?rto sock ~peer () =
+  let t = make ?window ?rto sock peer in
+  let rec attempt tries =
+    if tries > max_retries then None
+    else begin
+      send_pup t ~ptype:t_open ~id:0l Packet.(of_string "");
+      match Pup_socket.recv ~timeout:t.rto sock with
+      | Some pup when pup.Pup.ptype = t_open_ack ->
+        (* The ack tells us the peer's true source port. *)
+        t.peer <- pup.Pup.src;
+        Some t
+      | Some _ | None -> attempt (tries + 1)
+    end
+  in
+  attempt 1
+
+let rec accept ?window ?rto sock () =
+  match Pup_socket.recv sock with
+  | Some pup when pup.Pup.ptype = t_open ->
+    let t = make ?window ?rto sock pup.Pup.src in
+    send_pup t ~ptype:t_open_ack ~id:0l Packet.(of_string "");
+    t
+  | Some _ -> accept ?window ?rto sock ()
+  | None -> failwith "Bsp.accept: socket closed"
+
+(* {1 Sending} *)
+
+let chunks_of_string s =
+  let n = String.length s in
+  let rec go pos acc =
+    if pos >= n then List.rev acc
+    else begin
+      let len = min max_chunk (n - pos) in
+      go (pos + len) (String.sub s pos len :: acc)
+    end
+  in
+  go 0 []
+
+let send t s =
+  let pending : (int * string) Queue.t = Queue.create () in
+  let transmit (seq, chunk) =
+    send_pup t ~ptype:t_data ~id:(Int32.of_int seq) (Packet.of_string chunk)
+  in
+  let rec drain_acks ~remaining =
+    (* Window full (or stream exhausted): block for an ack, go-back-N on
+       timeout. *)
+    if not (Queue.is_empty pending) then begin
+      match next_pup t ~timeout:(Some t.rto) with
+      | Some pup when pup.Pup.ptype = t_ack ->
+        let acked = Int32.to_int pup.Pup.id in
+        let rec pop () =
+          match Queue.peek_opt pending with
+          | Some (seq, _) when seq <= acked ->
+            ignore (Queue.pop pending);
+            pop ()
+          | Some _ | None -> ()
+        in
+        pop ();
+        feed ~remaining
+      | Some pup when pup.Pup.ptype = t_data || pup.Pup.ptype = t_close ->
+        (* Peer traffic unrelated to our acks: hold it for [recv]. *)
+        Queue.push pup t.inbox;
+        drain_acks ~remaining
+      | Some pup when pup.Pup.ptype = t_open ->
+        (* Our open-ack was lost: the peer is still knocking. *)
+        send_pup t ~ptype:t_open_ack ~id:0l Packet.(of_string "");
+        drain_acks ~remaining
+      | Some _ -> drain_acks ~remaining
+      | None ->
+        t.retransmissions <- t.retransmissions + Queue.length pending;
+        if t.retransmissions > max_retries * t.window * 8 then
+          failwith "Bsp.send: too many retransmissions";
+        Queue.iter transmit pending;
+        drain_acks ~remaining
+    end
+    else feed ~remaining
+  and feed ~remaining =
+    match remaining with
+    | [] -> if not (Queue.is_empty pending) then drain_acks ~remaining
+    | chunk :: rest ->
+      if Queue.length pending < t.window then begin
+        let seq = t.send_seq in
+        t.send_seq <- seq + 1;
+        t.bytes_sent <- t.bytes_sent + String.length chunk;
+        Queue.push (seq, chunk) pending;
+        transmit (seq, chunk);
+        feed ~remaining:rest
+      end
+      else drain_acks ~remaining
+  in
+  feed ~remaining:(chunks_of_string s)
+
+(* {1 Receiving} *)
+
+let rec recv t =
+  if t.peer_closed then None
+  else begin
+    (* Block indefinitely: stream reads have no deadline of their own. *)
+    match next_pup t ~timeout:None with
+    | Some pup when pup.Pup.ptype = t_data ->
+      let seq = Int32.to_int pup.Pup.id in
+      if seq = t.recv_seq then begin
+        t.recv_seq <- seq + 1;
+        t.bytes_received <- t.bytes_received + Packet.length pup.Pup.data;
+        send_pup t ~ptype:t_ack ~id:pup.Pup.id Packet.(of_string "");
+        Some (Packet.to_string pup.Pup.data)
+      end
+      else begin
+        (* Duplicate or out-of-order: re-acknowledge the last in-order
+           packet so the sender can advance. *)
+        send_pup t ~ptype:t_ack ~id:(Int32.of_int (t.recv_seq - 1)) Packet.(of_string "");
+        recv t
+      end
+    | Some pup when pup.Pup.ptype = t_close ->
+      t.peer_closed <- true;
+      send_pup t ~ptype:t_close_ack ~id:pup.Pup.id Packet.(of_string "");
+      None
+    | Some pup when pup.Pup.ptype = t_open ->
+      (* Our open-ack was lost: re-acknowledge and keep receiving. *)
+      send_pup t ~ptype:t_open_ack ~id:0l Packet.(of_string "");
+      recv t
+    | Some _ -> recv t (* stray ack *)
+    | None -> None (* port closed underneath us *)
+  end
+
+let close t =
+  let rec attempt tries =
+    if tries <= 3 then begin
+      send_pup t ~ptype:t_close ~id:(Int32.of_int t.send_seq) Packet.(of_string "");
+      match next_pup t ~timeout:(Some t.rto) with
+      | Some pup when pup.Pup.ptype = t_close_ack -> ()
+      | Some pup when pup.Pup.ptype = t_close ->
+        (* Simultaneous close. *)
+        send_pup t ~ptype:t_close_ack ~id:pup.Pup.id Packet.(of_string "")
+      | Some _ | None -> attempt (tries + 1)
+    end
+  in
+  attempt 1
+
+let bytes_sent t = t.bytes_sent
+let bytes_received t = t.bytes_received
+let retransmissions t = t.retransmissions

@@ -1,0 +1,41 @@
+(** BSP, the Pup Byte Stream Protocol — the user-level stream transport of
+    sections 5.1 and 6.4, implemented entirely over the packet filter.
+
+    Simplifications relative to 1980s BSP, documented here and in DESIGN.md:
+    sequence numbers count packets rather than bytes, the open/close
+    handshake is a single exchange, and flow control is a fixed send window
+    with go-back-N retransmission. The measured Stanford implementation
+    behaved close to stop-and-wait, so [window] defaults to 1; table 6-6's
+    38 KB/s shape depends on that. Data Pups are unchecksummed, as in the
+    §6.4 measurements.
+
+    Pup types used (local assignment): 8 open, 9 open-ack, 16 data, 17 ack,
+    19 close, 20 close-ack. *)
+
+type t
+(** A connection. *)
+
+val connect :
+  ?window:int -> ?rto:Pf_sim.Time.t -> Pup_socket.t -> peer:Pup.port -> unit -> t option
+(** Active open; [None] after repeated unanswered opens. [rto] is the
+    retransmission timeout (default 200 ms). *)
+
+val accept : ?window:int -> ?rto:Pf_sim.Time.t -> Pup_socket.t -> unit -> t
+(** Passive open: blocks for an open request and completes the handshake. *)
+
+val send : t -> string -> unit
+(** Stream write: chunks into maximal Pups, observes the send window, blocks
+    until all chunks are acknowledged. Raises [Failure] after exhausting
+    retransmissions. *)
+
+val recv : t -> string option
+(** Next in-order chunk of the byte stream; [None] once the peer closes. *)
+
+val close : t -> unit
+(** Sends close and waits (briefly) for the acknowledgment. *)
+
+val bytes_sent : t -> int
+val bytes_received : t -> int
+val retransmissions : t -> int
+val max_chunk : int
+(** Data bytes per BSP packet, [Pup.max_data]. *)

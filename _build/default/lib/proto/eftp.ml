@@ -1,0 +1,84 @@
+module Packet = Pf_pkt.Packet
+
+let block_bytes = 512
+let t_data = 24
+let t_ack = 25
+let t_end = 26
+let t_abort = 27
+let max_retries = 8
+
+(* The block number travels in the Pup identifier. *)
+
+let send ?(timeout = 200_000) sock ~dst data =
+  let total = String.length data in
+  let blocks = (total + block_bytes - 1) / block_bytes in
+  (* Each data block (and the final empty End block) is sent and resent
+     until its ack arrives. *)
+  let exchange ~ptype ~block payload =
+    let id = Int32.of_int block in
+    let rec attempt tries =
+      if tries > max_retries then Error (Printf.sprintf "block %d unacknowledged" block)
+      else begin
+        Pup_socket.send sock ~dst ~ptype ~id payload;
+        wait tries
+      end
+    and wait tries =
+      match Pup_socket.recv ~timeout sock with
+      | Some pup when pup.Pup.ptype = t_ack && pup.Pup.id = id -> Ok ()
+      | Some pup when pup.Pup.ptype = t_abort ->
+        Error (Packet.to_string pup.Pup.data)
+      | Some _ -> wait tries (* stale ack from an earlier block *)
+      | None -> attempt (tries + 1)
+    in
+    attempt 1
+  in
+  let rec go block =
+    if block >= blocks then exchange ~ptype:t_end ~block (Packet.of_string "")
+    else begin
+      let pos = block * block_bytes in
+      let len = min block_bytes (total - pos) in
+      match
+        exchange ~ptype:t_data ~block (Packet.of_string (String.sub data pos len))
+      with
+      | Ok () -> go (block + 1)
+      | Error _ as e -> e
+    end
+  in
+  go 0
+
+let receive ?(timeout = 200_000) sock =
+  let buf = Buffer.create 4096 in
+  let ack pup = Pup_socket.send sock ~dst:pup.Pup.src ~ptype:t_ack ~id:pup.Pup.id (Packet.of_string "") in
+  let rec next ~expected ~first =
+    (* The first block may take arbitrarily long (the sender hasn't started);
+       after that, per-block timeouts bound the wait. *)
+    let pup =
+      if first then Pup_socket.recv sock else Pup_socket.recv ~timeout sock
+    in
+    match pup with
+    | None -> Error (Printf.sprintf "timed out waiting for block %d" expected)
+    | Some pup when pup.Pup.ptype = t_data ->
+      let block = Int32.to_int pup.Pup.id in
+      if block = expected then begin
+        Buffer.add_string buf (Packet.to_string pup.Pup.data);
+        ack pup;
+        next ~expected:(expected + 1) ~first:false
+      end
+      else begin
+        (* Duplicate (our ack was lost): re-ack so the sender advances. *)
+        if block < expected then ack pup;
+        next ~expected ~first:false
+      end
+    | Some pup when pup.Pup.ptype = t_end ->
+      if Int32.to_int pup.Pup.id = expected then begin
+        ack pup;
+        Ok (Buffer.contents buf)
+      end
+      else begin
+        ack pup;
+        next ~expected ~first:false
+      end
+    | Some pup when pup.Pup.ptype = t_abort -> Error (Packet.to_string pup.Pup.data)
+    | Some _ -> next ~expected ~first
+  in
+  next ~expected:0 ~first:true

@@ -1,0 +1,149 @@
+module Packet = Pf_pkt.Packet
+module Builder = Pf_pkt.Builder
+module Host = Pf_kernel.Host
+module Pfdev = Pf_kernel.Pfdev
+module Costs = Pf_sim.Costs
+module Process = Pf_sim.Process
+module Addr = Pf_net.Addr
+module Frame = Pf_net.Frame
+
+let ethertype = 0x0701
+let message_bytes = 32
+let header_bytes = 12
+let kind_send = 1
+let kind_reply = 2
+let max_retries = 5
+
+let pad32 data =
+  let n = Packet.length data in
+  if n = message_bytes then data
+  else if n > message_bytes then Packet.sub data ~pos:0 ~len:message_bytes
+  else Packet.concat [ data; Packet.of_string (String.make (message_bytes - n) '\000') ]
+
+let encode ~dst ~src ~seq ~kind message =
+  let b = Builder.create ~capacity:(header_bytes + message_bytes) () in
+  Builder.add_word32 b dst;
+  Builder.add_word32 b src;
+  Builder.add_word b seq;
+  Builder.add_byte b kind;
+  Builder.add_byte b 0;
+  Builder.add_packet b (pad32 message);
+  Builder.to_packet b
+
+type header = { dst : int32; src : int32; seq : int; kind : int; message : Packet.t }
+
+let decode payload =
+  if Packet.length payload < header_bytes + message_bytes then None
+  else
+    Some
+      {
+        dst = Packet.word32 payload 0;
+        src = Packet.word32 payload 2;
+        seq = Packet.word payload 4;
+        kind = Packet.byte payload 10;
+        message = Packet.sub payload ~pos:header_bytes ~len:message_bytes;
+      }
+
+let pid_filter pid =
+  let open Pf_filter.Dsl in
+  let hi = Int32.to_int (Int32.shift_right_logical pid 16) land 0xffff in
+  let lo = Int32.to_int pid land 0xffff in
+  Pf_filter.Expr.compile
+    (word 8 =: lit lo &&: (word 7 =: lit hi) &&: (word 6 =: lit ethertype))
+
+let open_pid_port host pid =
+  let port = Pfdev.open_port (Host.pf host) in
+  (match Pfdev.set_filter port (pid_filter pid) with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Format.asprintf "Ikp: %a" Pf_filter.Validate.pp_error e));
+  port
+
+type server = {
+  shost : Host.t;
+  sport : Pfdev.port;
+  mutable running : bool;
+  mutable served : int;
+}
+
+let server host ~pid ~handler =
+  let port = open_pid_port host pid in
+  let srv = ref None in
+  let c = Host.costs host in
+  (* The last reply per client pid answers retransmitted Sends without
+     re-running the handler — V's at-most-once within a sequence. *)
+  let last : (int32, int * Packet.t) Hashtbl.t = Hashtbl.create 8 in
+  let body () =
+    let self = Option.get !srv in
+    while self.running do
+      match Pfdev.read port with
+      | None -> ()
+      | Some capture -> (
+        Process.use_cpu c.Costs.proto_user_per_packet;
+        match Frame.decode Frame.Dix10 capture.Pfdev.packet with
+        | None -> ()
+        | Some (fh, payload) -> (
+          match decode payload with
+          | Some h when h.kind = kind_send ->
+            let reply =
+              match Hashtbl.find_opt last h.src with
+              | Some (seq, reply) when seq = h.seq -> reply (* duplicate Send *)
+              | Some _ | None ->
+                self.served <- self.served + 1;
+                let reply = pad32 (handler h.message) in
+                Hashtbl.replace last h.src (h.seq, reply);
+                reply
+            in
+            Process.use_cpu c.Costs.proto_user_per_packet;
+            Pfdev.write port
+              (Frame.encode Frame.Dix10 ~dst:fh.Frame.src ~src:(Host.addr host)
+                 ~ethertype
+                 (encode ~dst:h.src ~src:pid ~seq:h.seq ~kind:kind_reply reply))
+          | Some _ | None -> ()))
+    done
+  in
+  ignore (Host.spawn host ~name:"ikp-server" body : Process.t);
+  let s = { shost = host; sport = port; running = true; served = 0 } in
+  srv := Some s;
+  s
+
+let stop s =
+  s.running <- false;
+  Pfdev.close_port s.sport
+
+let served s = s.served
+
+type client = { chost : Host.t; cpid : int32; cport : Pfdev.port; mutable seq : int }
+
+let client host ~pid = { chost = host; cpid = pid; cport = open_pid_port host pid; seq = 0 }
+
+let send ?(timeout = 200_000) t ~dst ~dst_addr message =
+  let c = Host.costs t.chost in
+  t.seq <- (t.seq + 1) land 0xffff;
+  let seq = t.seq in
+  let frame =
+    Frame.encode Frame.Dix10 ~dst:dst_addr ~src:(Host.addr t.chost) ~ethertype
+      (encode ~dst ~src:t.cpid ~seq ~kind:kind_send message)
+  in
+  Pfdev.set_timeout t.cport (Some timeout);
+  let rec attempt tries =
+    if tries > max_retries then None
+    else begin
+      Process.use_cpu c.Costs.proto_user_per_packet;
+      Pfdev.write t.cport frame;
+      collect tries
+    end
+  and collect tries =
+    match Pfdev.read t.cport with
+    | None -> attempt (tries + 1)
+    | Some capture -> (
+      Process.use_cpu c.Costs.proto_user_per_packet;
+      match Frame.payload Frame.Dix10 capture.Pfdev.packet with
+      | None -> collect tries
+      | Some payload -> (
+        match decode payload with
+        | Some h when h.kind = kind_reply && h.seq = seq -> Some h.message
+        | Some _ | None -> collect tries (* stale reply or noise *)))
+  in
+  attempt 1
+
+let close t = Pfdev.close_port t.cport

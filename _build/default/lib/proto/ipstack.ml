@@ -1,0 +1,126 @@
+module Packet = Pf_pkt.Packet
+module Host = Pf_kernel.Host
+module Costs = Pf_sim.Costs
+module Stats = Pf_sim.Stats
+module Process = Pf_sim.Process
+module Addr = Pf_net.Addr
+module Ethertype = Pf_net.Ethertype
+
+type t = {
+  host : Host.t;
+  ip : int32;
+  mac : string;
+  mutable handlers : (int * (Ipv4.t -> unit)) list;
+  arp_table : (int32, Addr.t) Hashtbl.t;
+  arp_pending : (int32, Packet.t list) Hashtbl.t; (* encoded IP datagrams *)
+}
+
+let host t = t.host
+let ip t = t.ip
+
+(* Charge CPU in whichever context we are in: directly when inside a user
+   process (the transport has already charged the syscall), at interrupt
+   level otherwise (acks, retransmissions, replies). *)
+let charged host cost k =
+  if Process.running () then begin
+    Process.use_cpu cost;
+    k ()
+  end
+  else Host.in_kernel host ~cost k
+
+let transmit t ~dst ~ethertype payload =
+  let costs = Host.costs t.host in
+  let bytes = Packet.length payload in
+  let cost = costs.Costs.send_path + (costs.Costs.send_per_kbyte * bytes / 1024) in
+  charged t.host cost (fun () -> Pf_net.Nic.send (Host.nic t.host) ~dst ~ethertype payload)
+
+let send_arp t ~oper ~tha ~tpa ~dst =
+  let body = Arp.encode (Arp.v ~oper ~sha:t.mac ~spa:t.ip ~tha ~tpa) in
+  Stats.incr (Host.stats t.host) "arp.sent";
+  transmit t ~dst ~ethertype:Ethertype.arp body
+
+let send_resolved t ~dst_mac datagram = transmit t ~dst:dst_mac ~ethertype:Ethertype.ip datagram
+
+let send t ~dst ~protocol payload =
+  let costs = Host.costs t.host in
+  let datagram = Ipv4.encode (Ipv4.v ~protocol ~src:t.ip ~dst payload) in
+  charged t.host costs.Costs.ip_overhead (fun () ->
+      match Hashtbl.find_opt t.arp_table dst with
+      | Some mac -> send_resolved t ~dst_mac:mac datagram
+      | None -> (
+        (* Queue the datagram; broadcast a who-has only if no resolution is
+           already in flight for this address. *)
+        match Hashtbl.find_opt t.arp_pending dst with
+        | Some waiting -> Hashtbl.replace t.arp_pending dst (datagram :: waiting)
+        | None ->
+          Hashtbl.replace t.arp_pending dst [ datagram ];
+          Stats.incr (Host.stats t.host) "arp.misses";
+          send_arp t ~oper:Arp.request ~tha:(String.make 6 '\000') ~tpa:dst
+            ~dst:Addr.broadcast_eth))
+
+let handle_arp t frame =
+  match Pf_net.Frame.payload Pf_net.Frame.Dix10 frame with
+  | None -> ()
+  | Some body -> (
+    match Arp.decode body with
+    | Error _ -> Stats.incr (Host.stats t.host) "arp.garbage"
+    | Ok arp ->
+      (* Opportunistically learn the sender either way. *)
+      if arp.Arp.spa <> 0l then
+        Hashtbl.replace t.arp_table arp.Arp.spa (Addr.eth arp.Arp.sha);
+      if arp.Arp.oper = Arp.request && arp.Arp.tpa = t.ip then
+        send_arp t ~oper:Arp.reply ~tha:arp.Arp.sha ~tpa:arp.Arp.spa
+          ~dst:(Addr.eth arp.Arp.sha)
+      else if arp.Arp.oper = Arp.reply then begin
+        match Hashtbl.find_opt t.arp_pending arp.Arp.spa with
+        | None -> ()
+        | Some queued ->
+          Hashtbl.remove t.arp_pending arp.Arp.spa;
+          List.iter
+            (fun datagram ->
+              send_resolved t ~dst_mac:(Addr.eth arp.Arp.sha) datagram)
+            (List.rev queued)
+      end)
+
+let handle_ip t frame =
+  let costs = Host.costs t.host in
+  match Pf_net.Frame.payload Pf_net.Frame.Dix10 frame with
+  | None -> ()
+  | Some body ->
+    Stats.incr ~by:costs.Costs.ip_overhead (Host.stats t.host) "ip.cpu_us";
+    Host.in_kernel t.host ~cost:costs.Costs.ip_overhead (fun () ->
+        match Ipv4.decode body with
+        | Error _ -> Stats.incr (Host.stats t.host) "ip.garbage"
+        | Ok packet ->
+          Stats.incr (Host.stats t.host) "ip.received";
+          if packet.Ipv4.dst = t.ip || packet.Ipv4.dst = 0xffffffffl then begin
+            match List.assoc_opt packet.Ipv4.protocol t.handlers with
+            | Some handler -> handler packet
+            | None -> Stats.incr (Host.stats t.host) "ip.unreachable_proto"
+          end)
+
+let attach host ~ip =
+  let mac =
+    match Host.addr host with
+    | Addr.Eth mac -> mac
+    | Addr.Exp _ -> invalid_arg "Ipstack.attach: needs a 10Mb Ethernet host"
+  in
+  let t =
+    {
+      host;
+      ip;
+      mac;
+      handlers = [];
+      arp_table = Hashtbl.create 16;
+      arp_pending = Hashtbl.create 4;
+    }
+  in
+  Host.register_protocol host ~ethertype:Ethertype.ip (handle_ip t);
+  Host.register_protocol host ~ethertype:Ethertype.arp (handle_arp t);
+  t
+
+let set_proto_handler t ~protocol handler =
+  t.handlers <- (protocol, handler) :: List.remove_assoc protocol t.handlers
+
+let arp_table_size t = Hashtbl.length t.arp_table
+let add_route t ~ip addr = Hashtbl.replace t.arp_table ip addr

@@ -1,0 +1,32 @@
+(** The kernel-resident IP layer with its ARP resolver (figure 3-2's world).
+
+    Attaching a stack registers kernel handlers for the IP and ARP
+    Ethertypes; from then on those packets are claimed by the kernel and
+    ordinary packet filter ports never see them (tap ports still do) — the
+    coexistence of figure 3-3.
+
+    Transport modules ({!Udp}, {!Tcp}) register per-protocol handlers; their
+    handlers run in kernel context after the IP layer has charged its own
+    per-packet cost ({!Pf_sim.Costs.ip_overhead}, the 0.49 ms/packet layer of
+    section 6.1). *)
+
+type t
+
+val attach : Pf_kernel.Host.t -> ip:int32 -> t
+(** Requires a 10 Mbit/s Ethernet host. *)
+
+val host : t -> Pf_kernel.Host.t
+val ip : t -> int32
+
+val set_proto_handler : t -> protocol:int -> (Ipv4.t -> unit) -> unit
+(** Handler for received IP packets of one protocol number, kernel context. *)
+
+val send : t -> dst:int32 -> protocol:int -> Pf_pkt.Packet.t -> unit
+(** Encapsulate and transmit. Charges IP-layer and driver send costs in the
+    caller's context (user process or kernel); resolves the destination with
+    ARP first if needed, queueing the packet meanwhile. *)
+
+val arp_table_size : t -> int
+val add_route : t -> ip:int32 -> Pf_net.Addr.t -> unit
+(** Pre-seed the ARP table (handy in benchmarks that should not measure
+    resolution). *)

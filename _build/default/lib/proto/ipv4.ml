@@ -1,0 +1,108 @@
+module Packet = Pf_pkt.Packet
+module Builder = Pf_pkt.Builder
+
+type t = {
+  tos : int;
+  ttl : int;
+  protocol : int;
+  src : int32;
+  dst : int32;
+  options : Packet.t;
+  payload : Packet.t;
+}
+
+let v ?(tos = 0) ?(ttl = 30) ~protocol ~src ~dst payload =
+  { tos; ttl; protocol; src; dst; options = Packet.of_string ""; payload }
+
+let proto_udp = 17
+let proto_tcp = 6
+
+let checksum packet ~pos ~len =
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < len do
+    sum := !sum + (Packet.byte packet (pos + !i) lsl 8) + Packet.byte packet (pos + !i + 1);
+    i := !i + 2
+  done;
+  if !i < len then sum := !sum + (Packet.byte packet (pos + !i) lsl 8);
+  while !sum > 0xffff do
+    sum := (!sum land 0xffff) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xffff
+
+let encode t =
+  let opt_len = Packet.length t.options in
+  let opt_pad = (4 - (opt_len mod 4)) mod 4 in
+  let ihl = 5 + ((opt_len + opt_pad) / 4) in
+  let total = (ihl * 4) + Packet.length t.payload in
+  let b = Builder.create ~capacity:total () in
+  Builder.add_byte b ((4 lsl 4) lor ihl);
+  Builder.add_byte b t.tos;
+  Builder.add_word b total;
+  Builder.add_word b 0; (* identification *)
+  Builder.add_word b 0; (* flags/fragment: never fragments in the simulation *)
+  Builder.add_byte b t.ttl;
+  Builder.add_byte b t.protocol;
+  Builder.add_word b 0; (* checksum placeholder *)
+  Builder.add_word32 b t.src;
+  Builder.add_word32 b t.dst;
+  Builder.add_packet b t.options;
+  for _ = 1 to opt_pad do
+    Builder.add_byte b 0
+  done;
+  let header = Builder.to_packet b in
+  let cksum = checksum header ~pos:0 ~len:(ihl * 4) in
+  Builder.patch_word b ~pos:10 cksum;
+  ignore header;
+  Builder.add_packet b t.payload;
+  Builder.to_packet b
+
+type error = Too_short of int | Bad_version of int | Bad_checksum | Bad_length
+
+let pp_error ppf = function
+  | Too_short n -> Format.fprintf ppf "IP packet too short (%d bytes)" n
+  | Bad_version v -> Format.fprintf ppf "IP version %d" v
+  | Bad_checksum -> Format.fprintf ppf "bad IP header checksum"
+  | Bad_length -> Format.fprintf ppf "IP length field disagrees with packet"
+
+let decode packet =
+  let n = Packet.length packet in
+  if n < 20 then Error (Too_short n)
+  else begin
+    let vihl = Packet.byte packet 0 in
+    let version = vihl lsr 4 in
+    let ihl = vihl land 0x0f in
+    if version <> 4 then Error (Bad_version version)
+    else if ihl < 5 || ihl * 4 > n then Error Bad_length
+    else begin
+      let total = Packet.word packet 1 in
+      if total < ihl * 4 || total > n then Error Bad_length
+      else if checksum packet ~pos:0 ~len:(ihl * 4) <> 0 then Error Bad_checksum
+      else
+        Ok
+          {
+            tos = Packet.byte packet 1;
+            ttl = Packet.byte packet 8;
+            protocol = Packet.byte packet 9;
+            src = Packet.word32 packet 6;
+            dst = Packet.word32 packet 8;
+            options = Packet.sub packet ~pos:20 ~len:((ihl * 4) - 20);
+            payload = Packet.sub packet ~pos:(ihl * 4) ~len:(total - (ihl * 4));
+          }
+    end
+  end
+
+let addr_of_string s =
+  match String.split_on_char '.' s |> List.map int_of_string_opt with
+  | [ Some a; Some b; Some c; Some d ]
+    when List.for_all (fun x -> x >= 0 && x <= 255) [ a; b; c; d ] ->
+    Int32.logor
+      (Int32.shift_left (Int32.of_int a) 24)
+      (Int32.of_int ((b lsl 16) lor (c lsl 8) lor d))
+  | _ -> invalid_arg (Printf.sprintf "Ipv4.addr_of_string: %S" s)
+
+let string_of_addr a =
+  let b i = Int32.to_int (Int32.logand (Int32.shift_right_logical a (8 * i)) 0xffl) in
+  Printf.sprintf "%d.%d.%d.%d" (b 3) (b 2) (b 1) (b 0)
+
+let pp_addr ppf a = Format.pp_print_string ppf (string_of_addr a)

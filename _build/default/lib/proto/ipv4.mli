@@ -1,0 +1,39 @@
+(** IPv4 header codec (RFC 791) — the kernel-resident internetwork layer of
+    figure 3-2. Encoding always produces the 20-byte option-less header;
+    decoding accepts options (IHL > 5), which is what breaks constant-offset
+    filters (section 7) and motivates {!Pf_filter.Predicates.udp_dst_port_any_ihl}. *)
+
+type t = {
+  tos : int;
+  ttl : int;
+  protocol : int;
+  src : int32;
+  dst : int32;
+  options : Pf_pkt.Packet.t;  (** empty unless IHL > 5 *)
+  payload : Pf_pkt.Packet.t;
+}
+
+val v : ?tos:int -> ?ttl:int -> protocol:int -> src:int32 -> dst:int32 -> Pf_pkt.Packet.t -> t
+
+val proto_udp : int
+(** 17 *)
+
+val proto_tcp : int
+(** 6 *)
+
+val encode : t -> Pf_pkt.Packet.t
+(** Options are re-emitted if present (padded to a word boundary). *)
+
+type error = Too_short of int | Bad_version of int | Bad_checksum | Bad_length
+val pp_error : Format.formatter -> error -> unit
+val decode : Pf_pkt.Packet.t -> (t, error) result
+
+val checksum : Pf_pkt.Packet.t -> pos:int -> len:int -> int
+(** The Internet ones-complement checksum over [len] bytes (a trailing odd
+    byte is padded with zero), as used by IP, UDP, and TCP. *)
+
+val addr_of_string : string -> int32
+(** ["10.0.0.7"] → int32; raises [Invalid_argument] on malformed input. *)
+
+val string_of_addr : int32 -> string
+val pp_addr : Format.formatter -> int32 -> unit

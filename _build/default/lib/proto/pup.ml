@@ -1,0 +1,135 @@
+module Packet = Pf_pkt.Packet
+module Builder = Pf_pkt.Builder
+
+type port = { net : int; host : int; socket : int32 }
+
+let port ?(net = 0) ~host socket = { net; host; socket }
+let pp_port ppf p = Format.fprintf ppf "%d#%d#%ld" p.net p.host p.socket
+
+type t = {
+  transport_control : int;
+  ptype : int;
+  id : int32;
+  dst : port;
+  src : port;
+  data : Packet.t;
+}
+
+let v ?(transport_control = 0) ~ptype ~id ~dst ~src data =
+  { transport_control; ptype; id; dst; src; data }
+
+let max_data = 532
+let header_bytes = 20
+let overhead_bytes = header_bytes + 2
+let no_checksum = 0xffff
+
+(* Add-and-left-cycle: ones-complement 16-bit sum with end-around carry,
+   rotated left one bit after each addition. An all-ones result folds to
+   zero because 0xffff is reserved to mean "no checksum". *)
+let checksum packet ~pos ~words =
+  let sum = ref 0 in
+  for k = 0 to words - 1 do
+    let w =
+      (Packet.byte packet (pos + (2 * k)) lsl 8) lor Packet.byte packet (pos + (2 * k) + 1)
+    in
+    sum := !sum + w;
+    if !sum > 0xffff then sum := (!sum land 0xffff) + 1;
+    sum := ((!sum lsl 1) land 0xffff) lor (!sum lsr 15)
+  done;
+  if !sum = 0xffff then 0 else !sum
+
+let checksum_words packet trailer_pos = checksum packet ~pos:0 ~words:(trailer_pos / 2)
+
+let encode ?(checksum = true) t =
+  let data_len = Packet.length t.data in
+  if data_len > max_data then invalid_arg "Pup.encode: data exceeds 532 bytes";
+  (* Data is padded to a word boundary; the length field records the true
+     (unpadded) byte count. *)
+  let pad = data_len land 1 in
+  let b = Builder.create ~capacity:(header_bytes + data_len + pad + 2) () in
+  Builder.add_word b (header_bytes + data_len + 2);
+  Builder.add_byte b t.transport_control;
+  Builder.add_byte b t.ptype;
+  Builder.add_word32 b t.id;
+  Builder.add_byte b t.dst.net;
+  Builder.add_byte b t.dst.host;
+  Builder.add_word32 b t.dst.socket;
+  Builder.add_byte b t.src.net;
+  Builder.add_byte b t.src.host;
+  Builder.add_word32 b t.src.socket;
+  Builder.add_packet b t.data;
+  if pad = 1 then Builder.add_byte b 0;
+  Builder.add_word b 0;
+  let packet = Builder.to_packet b in
+  let trailer_pos = Packet.length packet - 2 in
+  let value = if checksum then checksum_words packet trailer_pos else no_checksum in
+  let bytes = Packet.to_bytes packet in
+  Bytes.set_uint16_be bytes trailer_pos value;
+  Packet.of_bytes bytes
+
+type error =
+  | Too_short of int
+  | Bad_length of { declared : int; actual : int }
+  | Bad_checksum of { expected : int; found : int }
+  | Data_too_long of int
+
+let pp_error ppf = function
+  | Too_short n -> Format.fprintf ppf "pup too short (%d bytes)" n
+  | Bad_length { declared; actual } ->
+    Format.fprintf ppf "pup length field %d but %d bytes present" declared actual
+  | Bad_checksum { expected; found } ->
+    Format.fprintf ppf "pup checksum 0x%04x, computed 0x%04x" found expected
+  | Data_too_long n -> Format.fprintf ppf "pup data too long (%d bytes)" n
+
+let word32 packet pos =
+  Int32.logor
+    (Int32.shift_left (Int32.of_int (Packet.word packet (pos / 2))) 16)
+    (Int32.of_int (Packet.word packet ((pos / 2) + 1)))
+
+let decode ?(verify = true) packet =
+  let n = Packet.length packet in
+  if n < overhead_bytes then Error (Too_short n)
+  else begin
+    let declared = Packet.word packet 0 in
+    (* The frame may carry a byte of pad after the checksum-covered region;
+       declared length (header + data + checksum) must fit, possibly one
+       byte shy of the padded total. *)
+    let padded = declared + (declared land 1) in
+    if declared < overhead_bytes || padded > n then
+      Error (Bad_length { declared; actual = n })
+    else begin
+      let data_len = declared - overhead_bytes in
+      if data_len > max_data then Error (Data_too_long data_len)
+      else begin
+        let trailer_pos = padded - 2 in
+        let found = Packet.word packet (trailer_pos / 2) in
+        let check =
+          if (not verify) || found = no_checksum then Ok ()
+          else begin
+            let expected = checksum packet ~pos:0 ~words:(trailer_pos / 2) in
+            if expected = found then Ok () else Error (Bad_checksum { expected; found })
+          end
+        in
+        match check with
+        | Error _ as e -> e
+        | Ok () ->
+          Ok
+            {
+              transport_control = Packet.byte packet 2;
+              ptype = Packet.byte packet 3;
+              id = word32 packet 4;
+              dst =
+                { net = Packet.byte packet 8;
+                  host = Packet.byte packet 9;
+                  socket = word32 packet 10;
+                };
+              src =
+                { net = Packet.byte packet 14;
+                  host = Packet.byte packet 15;
+                  socket = word32 packet 16;
+                };
+              data = Packet.sub packet ~pos:header_bytes ~len:data_len;
+            }
+      end
+    end
+  end

@@ -1,0 +1,69 @@
+(** The Pup internetwork datagram (Boggs, Shoch, Taft & Metcalfe 1980),
+    exactly as laid out in the paper's figure 3-7.
+
+    A Pup is carried as the data-link payload; its 20-byte header is, in
+    16-bit words: length, transport-control|type, 32-bit identifier,
+    destination port (net, host, 32-bit socket), source port, then up to 532
+    data bytes, then a 16-bit add-and-left-cycle checksum trailer.
+
+    All of figure 3-7's frame-word offsets hold on the 3 Mbit/s experimental
+    Ethernet: frame word 2 is the Pup length, frame word 3's low byte the
+    PupType (figure 3-8), frame words 7-8 the DstSocket (figure 3-9). *)
+
+(** A Pup port: network, host, 32-bit socket (figure 3-7). *)
+type port = { net : int; host : int; socket : int32 }
+
+val port : ?net:int -> host:int -> int32 -> port
+val pp_port : Format.formatter -> port -> unit
+
+type t = {
+  transport_control : int;  (** hop count, incremented per gateway *)
+  ptype : int;  (** PupType, one byte *)
+  id : int32;  (** sequence number / matching identifier *)
+  dst : port;
+  src : port;
+  data : Pf_pkt.Packet.t;
+}
+
+val v :
+  ?transport_control:int -> ptype:int -> id:int32 -> dst:port -> src:port ->
+  Pf_pkt.Packet.t -> t
+
+val max_data : int
+(** 532 bytes: the "maximum packet size of 568 bytes" of section 6.4 less the
+    20-byte header, 2-byte checksum, and 14 bytes of inter-network framing
+    allowance — we use the canonical Pup data limit. *)
+
+val header_bytes : int
+(** 20 *)
+
+val overhead_bytes : int
+(** header + checksum trailer = 22 *)
+
+(** {1 Wire format} *)
+
+val encode : ?checksum:bool -> t -> Pf_pkt.Packet.t
+(** [checksum] defaults true; [false] writes the all-ones "no checksum"
+    value (the BSP bulk path measured in §6.4 did not checksum). *)
+
+type error =
+  | Too_short of int
+  | Bad_length of { declared : int; actual : int }
+  | Bad_checksum of { expected : int; found : int }
+  | Data_too_long of int
+
+val pp_error : Format.formatter -> error -> unit
+
+val decode : ?verify:bool -> Pf_pkt.Packet.t -> (t, error) result
+(** [verify] defaults true; checksum verification is skipped for packets
+    carrying the no-checksum value. *)
+
+(** {1 Checksum} *)
+
+val checksum : Pf_pkt.Packet.t -> pos:int -> words:int -> int
+(** The Pup add-and-left-cycle ones-complement checksum over [words] 16-bit
+    words starting at byte [pos]. Never returns 0xffff (that value means
+    "unchecksummed"); a computed all-ones folds to zero. *)
+
+val no_checksum : int
+(** 0xffff. *)

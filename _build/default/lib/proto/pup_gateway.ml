@@ -1,0 +1,142 @@
+module Packet = Pf_pkt.Packet
+module Host = Pf_kernel.Host
+module Pfdev = Pf_kernel.Pfdev
+module Costs = Pf_sim.Costs
+module Process = Pf_sim.Process
+module Addr = Pf_net.Addr
+module Frame = Pf_net.Frame
+
+let max_hops = 15
+
+type iface = {
+  net : int;
+  nic : Pf_net.Nic.t;
+  port : Pfdev.port; (* our forwarding port on this interface's pf unit *)
+}
+
+type t = {
+  host : Host.t;
+  ifaces : iface list;
+  routes : (int * (int * int)) list;
+  mutable running : bool;
+  mutable forwarded : int;
+  mutable dropped : int;
+}
+
+(* "Pup, destined off this wire": type test plus a short-circuit inequality
+   on the destination network byte. *)
+let transit_filter variant ~local_net =
+  let open Pf_filter.Dsl in
+  match variant with
+  | Frame.Exp3 ->
+    Pf_filter.Expr.compile ~priority:1
+      (word 1 =: lit 2 &&: (high_byte (word 6) <>: lit local_net))
+  | Frame.Dix10 ->
+    Pf_filter.Expr.compile ~priority:1
+      (word 6 =: lit 0x0200 &&: (high_byte (word 11) <>: lit local_net))
+
+let variant_of iface = Pf_net.Nic.variant iface.nic
+
+let wire_addr variant host_number =
+  match variant with
+  | Frame.Exp3 -> Addr.exp host_number
+  | Frame.Dix10 -> Addr.eth_host host_number
+
+let forward t in_iface (pup : Pup.t) had_checksum =
+  let c = Host.costs t.host in
+  Process.use_cpu c.Costs.proto_user_per_packet;
+  if pup.Pup.transport_control >= max_hops then begin
+    t.dropped <- t.dropped + 1;
+    Pf_sim.Stats.incr (Host.stats t.host) "gateway.hop_exhausted"
+  end
+  else begin
+    (* Direct interface for the destination net, or a configured route. *)
+    let target =
+      match List.find_opt (fun i -> i.net = pup.Pup.dst.Pup.net) t.ifaces with
+      | Some out -> Some (out, pup.Pup.dst.Pup.host)
+      | None -> (
+        match List.assoc_opt pup.Pup.dst.Pup.net t.routes with
+        | Some (out_net, next_hop) ->
+          Option.map
+            (fun out -> (out, next_hop))
+            (List.find_opt (fun i -> i.net = out_net) t.ifaces)
+        | None -> None)
+    in
+    match target with
+    | None ->
+      t.dropped <- t.dropped + 1;
+      Pf_sim.Stats.incr (Host.stats t.host) "gateway.unroutable"
+    | Some (out, next_hop) ->
+      ignore in_iface;
+      let hopped =
+        { pup with Pup.transport_control = pup.Pup.transport_control + 1 }
+      in
+      let payload = Pup.encode ~checksum:had_checksum hopped in
+      let variant = variant_of out in
+      let frame =
+        Frame.encode variant
+          ~dst:(wire_addr variant next_hop)
+          ~src:(Pf_net.Nic.addr out.nic)
+          ~ethertype:
+            (match variant with
+            | Frame.Exp3 -> Pf_net.Ethertype.pup_exp3
+            | Frame.Dix10 -> Pf_net.Ethertype.pup)
+          payload
+      in
+      t.forwarded <- t.forwarded + 1;
+      Pfdev.write out.port frame
+  end
+
+let start host ~interfaces ?(routes = []) () =
+  let gw = ref None in
+  let ifaces =
+    List.map
+      (fun (net, nic, pf) ->
+        let port = Pfdev.open_port pf in
+        let variant = Pf_net.Nic.variant nic in
+        (match Pfdev.set_filter port (transit_filter variant ~local_net:net) with
+        | Ok () -> ()
+        | Error e ->
+          invalid_arg (Format.asprintf "Pup_gateway: %a" Pf_filter.Validate.pp_error e));
+        Pfdev.set_queue_limit port 64;
+        { net; nic; port })
+      interfaces
+  in
+  let t = { host; ifaces; routes; running = true; forwarded = 0; dropped = 0 } in
+  gw := Some t;
+  List.iter
+    (fun iface ->
+      ignore
+        (Host.spawn host ~name:(Printf.sprintf "pup-gw-net%d" iface.net) (fun () ->
+             let self = Option.get !gw in
+             while self.running do
+               match Pfdev.read iface.port with
+               | None -> ()
+               | Some capture -> (
+                 match Frame.payload (variant_of iface) capture.Pfdev.packet with
+                 | None -> ()
+                 | Some payload -> (
+                   match Pup.decode ~verify:false payload with
+                   | Ok pup ->
+                     (* Forwarding must preserve checksummed-ness: find the
+                        trailer from the declared length (data may be
+                        padded to a word boundary). *)
+                     let declared = Pup.overhead_bytes + Packet.length pup.Pup.data in
+                     let padded = declared + (declared land 1) in
+                     let had_checksum =
+                       Packet.word payload ((padded / 2) - 1) <> Pup.no_checksum
+                     in
+                     forward self iface pup had_checksum
+                   | Error _ ->
+                     Pf_sim.Stats.incr (Host.stats self.host) "gateway.garbage"))
+             done)
+          : Process.t))
+    ifaces;
+  t
+
+let stop t =
+  t.running <- false;
+  List.iter (fun i -> Pfdev.close_port i.port) t.ifaces
+
+let forwarded t = t.forwarded
+let dropped t = t.dropped

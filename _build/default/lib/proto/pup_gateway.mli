@@ -1,0 +1,33 @@
+(** A Pup internetwork gateway — entirely user-level network code, which is
+    the paper's §5.1 world: Stanford's Pup internet ran over exactly such
+    packet-filter-based machinery, and the HopCount field of figure 3-7
+    exists for these hops.
+
+    A gateway is a multi-interface host ({!Pf_kernel.Host.add_interface})
+    with one forwarding process per interface. Each process installs a
+    filter accepting Pups whose destination {e network} differs from the
+    local wire's, rewrites the data-link header toward the next hop,
+    increments the transport-control (hop count) byte, re-checksums, and
+    writes the packet out of the proper interface. Pups whose hop count
+    exceeds {!max_hops} are dropped, like the originals. *)
+
+val max_hops : int
+(** 15. *)
+
+type t
+
+val start :
+  Pf_kernel.Host.t ->
+  interfaces:(int * Pf_net.Nic.t * Pf_kernel.Pfdev.t) list ->
+  ?routes:(int * (int * int)) list ->
+  unit ->
+  t
+(** [start host ~interfaces] — each interface is [(net number, nic, pf unit)]
+    as returned by {!Pf_kernel.Host.interfaces}/[add_interface].
+    [routes] adds reachability for networks not directly attached:
+    [(dst net, (out net, next-hop host byte))]. *)
+
+val stop : t -> unit
+val forwarded : t -> int
+val dropped : t -> int
+(** Hop-count exhaustions and unroutable destination networks. *)

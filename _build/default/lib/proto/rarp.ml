@@ -1,0 +1,100 @@
+module Packet = Pf_pkt.Packet
+module Host = Pf_kernel.Host
+module Pfdev = Pf_kernel.Pfdev
+module Costs = Pf_sim.Costs
+module Stats = Pf_sim.Stats
+module Process = Pf_sim.Process
+module Addr = Pf_net.Addr
+module Frame = Pf_net.Frame
+module Ethertype = Pf_net.Ethertype
+
+type server = {
+  host : Host.t;
+  port : Pfdev.port;
+  proc : Process.t;
+  mutable running : bool;
+  mutable answered : int;
+}
+
+let mac_of host =
+  match Host.addr host with
+  | Addr.Eth mac -> mac
+  | Addr.Exp _ -> invalid_arg "Rarp: needs a 10Mb Ethernet host"
+
+let send_rarp host port ~dst ~oper ~sha ~spa ~tha ~tpa =
+  let c = Host.costs host in
+  Process.use_cpu c.Costs.proto_user_per_packet;
+  Pfdev.write port
+    (Frame.encode Frame.Dix10 ~dst ~src:(Host.addr host) ~ethertype:Ethertype.rarp
+       (Arp.encode (Arp.v ~oper ~sha ~spa ~tha ~tpa)))
+
+let server host ~table =
+  let port = Pfdev.open_port (Host.pf host) in
+  (match Pfdev.set_filter port (Pf_filter.Predicates.rarp_request ()) with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Format.asprintf "Rarp.server: %a" Pf_filter.Validate.pp_error e));
+  let my_mac = mac_of host in
+  let my_ip = Option.value ~default:0l (List.assoc_opt my_mac table) in
+  let srv = ref None in
+  let body () =
+    let self = Option.get !srv in
+    while self.running do
+      match Pfdev.read port with
+      | None -> ()
+      | Some capture -> (
+        Process.use_cpu (Host.costs host).Costs.proto_user_per_packet;
+        match Frame.decode Frame.Dix10 capture.Pfdev.packet with
+        | None -> ()
+        | Some (_, body) -> (
+          match Arp.decode body with
+          | Error _ -> Stats.incr (Host.stats host) "rarp.garbage"
+          | Ok arp when arp.Arp.oper = Arp.rarp_request -> (
+            (* RFC 903: the target hardware address names the asker. *)
+            match List.assoc_opt arp.Arp.tha table with
+            | None -> Stats.incr (Host.stats host) "rarp.unknown"
+            | Some ip ->
+              self.answered <- self.answered + 1;
+              send_rarp host port ~dst:(Addr.eth arp.Arp.sha) ~oper:Arp.rarp_reply
+                ~sha:my_mac ~spa:my_ip ~tha:arp.Arp.tha ~tpa:ip)
+          | Ok _ -> ()))
+    done
+  in
+  let proc = Host.spawn host ~name:"rarpd" body in
+  let s = { host; port; proc; running = true; answered = 0 } in
+  srv := Some s;
+  s
+
+let stop s =
+  s.running <- false;
+  Pfdev.close_port s.port
+
+let answered s = s.answered
+
+let whoami ?(timeout = 500_000) ?(retries = 4) host =
+  let my_mac = mac_of host in
+  let port = Pfdev.open_port (Host.pf host) in
+  (match Pfdev.set_filter port (Pf_filter.Predicates.rarp_reply_for my_mac) with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Format.asprintf "Rarp.whoami: %a" Pf_filter.Validate.pp_error e));
+  Pfdev.set_timeout port (Some timeout);
+  let rec attempt tries =
+    if tries > retries then None
+    else begin
+      send_rarp host port ~dst:Addr.broadcast_eth ~oper:Arp.rarp_request ~sha:my_mac
+        ~spa:0l ~tha:my_mac ~tpa:0l;
+      match Pfdev.read port with
+      | Some capture -> (
+        match Frame.payload Frame.Dix10 capture.Pfdev.packet with
+        | None -> attempt (tries + 1)
+        | Some body -> (
+          match Arp.decode body with
+          | Ok arp when arp.Arp.oper = Arp.rarp_reply && arp.Arp.tha = my_mac ->
+            Pfdev.close_port port;
+            Some arp.Arp.tpa
+          | Ok _ | Error _ -> attempt (tries + 1)))
+      | None -> attempt (tries + 1)
+    end
+  in
+  let result = attempt 1 in
+  (match result with None -> Pfdev.close_port port | Some _ -> ());
+  result

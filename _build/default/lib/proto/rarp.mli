@@ -1,0 +1,20 @@
+(** RARP (RFC 903), exactly the section 5.3 story: a protocol {e parallel}
+    to IP, implementable under 4.2BSD only because the packet filter gives a
+    user process raw access to its Ethertype. The server is a user process
+    with a filter on RARP requests; the client broadcasts a request to learn
+    its own IP address before it has one. *)
+
+type server
+
+val server : Pf_kernel.Host.t -> table:(string * int32) list -> server
+(** [table] maps 6-byte MACs to the IP addresses the server hands out. The
+    server process answers requests forever (until {!stop}). *)
+
+val stop : server -> unit
+val answered : server -> int
+
+val whoami :
+  ?timeout:Pf_sim.Time.t -> ?retries:int -> Pf_kernel.Host.t -> int32 option
+(** Broadcast "who am I" and wait for a reply carrying our IP (a few
+    attempts, default timeout 500 ms / 4 retries) — what a diskless
+    workstation does at boot. *)

@@ -1,0 +1,428 @@
+module Packet = Pf_pkt.Packet
+module Builder = Pf_pkt.Builder
+module Host = Pf_kernel.Host
+module Engine = Pf_sim.Engine
+module Costs = Pf_sim.Costs
+module Stats = Pf_sim.Stats
+module Process = Pf_sim.Process
+module Condition = Pf_sim.Condition
+
+let fin_flag = 0x01
+let syn_flag = 0x02
+let ack_flag = 0x10
+let default_mss = 1024
+let default_window = 4096
+let sndbuf_limit = 16384
+let rcvbuf_limit = 32768
+let initial_rto = 300_000
+let syn_retries = 4
+
+type segment = {
+  src_port : int;
+  dst_port : int;
+  seq : int;
+  ack : int;
+  flags : int;
+  payload : Packet.t;
+}
+
+let encode_segment s =
+  let b = Builder.create ~capacity:(20 + Packet.length s.payload) () in
+  Builder.add_word b s.src_port;
+  Builder.add_word b s.dst_port;
+  Builder.add_word32 b (Int32.of_int s.seq);
+  Builder.add_word32 b (Int32.of_int s.ack);
+  Builder.add_word b ((5 lsl 12) lor s.flags);
+  Builder.add_word b 0xffff; (* window advertisement: fixed, see mli *)
+  Builder.add_word b 0; (* checksum field: cost charged, value unchecked *)
+  Builder.add_word b 0;
+  Builder.add_packet b s.payload;
+  Builder.to_packet b
+
+let decode_segment body =
+  if Packet.length body < 20 then None
+  else
+    Some
+      {
+        src_port = Packet.word body 0;
+        dst_port = Packet.word body 1;
+        seq = Int32.to_int (Packet.word32 body 2) land 0x7fffffff;
+        ack = Int32.to_int (Packet.word32 body 4) land 0x7fffffff;
+        flags = Packet.word body 6 land 0x3f;
+        payload = Packet.sub body ~pos:20 ~len:(Packet.length body - 20);
+      }
+
+type conn = {
+  tcp : t;
+  local_port : int;
+  peer_ip : int32;
+  peer_port : int;
+  mss : int;
+  window : int;
+  (* send side *)
+  unsent : string Queue.t;
+  unacked : (int * string) Queue.t; (* (seq, chunk), oldest first *)
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable buffered_bytes : int; (* unsent + unacked payload bytes *)
+  send_space : unit Condition.t;
+  mutable rto : Pf_sim.Time.t;
+  mutable rto_gen : int; (* invalidates stale timers *)
+  (* receive side *)
+  mutable rcv_nxt : int;
+  recv_chunks : string Queue.t;
+  mutable recv_bytes : int;
+  recv_cond : unit Condition.t;
+  (* state *)
+  mutable state : [ `Syn_sent | `Syn_rcvd | `Established | `Closed ];
+  connected : unit Condition.t;
+  mutable peer_fin : bool;
+  mutable fin_sent : bool;
+  (* counters *)
+  mutable total_sent : int;
+  mutable total_received : int;
+  mutable retransmissions : int;
+}
+
+and listener = { lt : t; lport : int; backlog : conn Queue.t; lcond : unit Condition.t }
+
+and t = {
+  stack : Ipstack.t;
+  conns : (int * int32 * int, conn) Hashtbl.t;
+  listeners : (int, listener) Hashtbl.t;
+  mutable next_ephemeral : int;
+}
+
+let host t = Ipstack.host t.stack
+let costs t = Host.costs (host t)
+
+(* Charge kernel-protocol CPU in the current context (user process if we are
+   inside a syscall, interrupt level otherwise) and then run [k]. *)
+let charged t cost k =
+  if Process.running () then begin
+    Process.use_cpu cost;
+    k ()
+  end
+  else Host.in_kernel (host t) ~cost k
+
+let segment_out conn ~flags ~seq ~payload =
+  let t = conn.tcp in
+  let c = costs t in
+  let bytes = Packet.length payload in
+  let cost = c.Costs.proto_kernel_per_packet + Costs.checksum_cost c ~bytes:(bytes + 20) in
+  Stats.incr (Host.stats (host t)) "tcp.segments_out";
+  charged t cost (fun () ->
+      Ipstack.send t.stack ~dst:conn.peer_ip ~protocol:Ipv4.proto_tcp
+        (encode_segment
+           {
+             src_port = conn.local_port;
+             dst_port = conn.peer_port;
+             seq;
+             ack = conn.rcv_nxt;
+             flags;
+             payload;
+           }))
+
+let send_ack conn = segment_out conn ~flags:ack_flag ~seq:conn.snd_nxt ~payload:(Packet.of_string "")
+
+let inflight conn = conn.snd_nxt - conn.snd_una
+
+(* {1 Sender engine (kernel)} *)
+
+let rec arm_rto conn =
+  conn.rto_gen <- conn.rto_gen + 1;
+  let gen = conn.rto_gen in
+  Engine.schedule_after (Host.engine (host conn.tcp)) conn.rto (fun () ->
+      if gen = conn.rto_gen && not (Queue.is_empty conn.unacked) then begin
+        (* Go-back-N: resend everything outstanding, back off the timer. *)
+        Queue.iter
+          (fun (seq, chunk) ->
+            conn.retransmissions <- conn.retransmissions + 1;
+            segment_out conn ~flags:ack_flag ~seq ~payload:(Packet.of_string chunk))
+          conn.unacked;
+        conn.rto <- min (conn.rto * 2) 2_000_000;
+        arm_rto conn
+      end)
+
+let rec pump conn =
+  match Queue.peek_opt conn.unsent with
+  | Some chunk when inflight conn + String.length chunk <= conn.window ->
+    ignore (Queue.pop conn.unsent);
+    let seq = conn.snd_nxt in
+    conn.snd_nxt <- seq + String.length chunk;
+    Queue.push (seq, chunk) conn.unacked;
+    segment_out conn ~flags:ack_flag ~seq ~payload:(Packet.of_string chunk);
+    pump conn
+  | Some _ | None ->
+    if not (Queue.is_empty conn.unacked) then arm_rto conn
+    else conn.rto_gen <- conn.rto_gen + 1 (* nothing outstanding: cancel *)
+
+let handle_ack conn ackno =
+  if ackno > conn.snd_una then begin
+    conn.snd_una <- ackno;
+    conn.rto <- initial_rto;
+    let rec reap () =
+      match Queue.peek_opt conn.unacked with
+      | Some (seq, chunk) when seq + String.length chunk <= ackno ->
+        ignore (Queue.pop conn.unacked);
+        conn.buffered_bytes <- conn.buffered_bytes - String.length chunk;
+        reap ()
+      | Some _ | None -> ()
+    in
+    reap ();
+    ignore (Condition.broadcast conn.send_space () : int);
+    pump conn
+  end
+
+(* {1 Receive engine (kernel)} *)
+
+let handle_data conn (seg : segment) =
+  let len = Packet.length seg.payload in
+  let stats = Host.stats (host conn.tcp) in
+  if seg.flags land ack_flag <> 0 then handle_ack conn seg.ack;
+  if len > 0 then begin
+    if seg.seq = conn.rcv_nxt && conn.recv_bytes + len <= rcvbuf_limit then begin
+      conn.rcv_nxt <- conn.rcv_nxt + len;
+      Queue.push (Packet.to_string seg.payload) conn.recv_chunks;
+      conn.recv_bytes <- conn.recv_bytes + len;
+      conn.total_received <- conn.total_received + len;
+      ignore (Condition.signal conn.recv_cond () : bool);
+      send_ack conn
+    end
+    else begin
+      (* Out of order, duplicate, or no buffer space: drop and re-assert
+         rcv_nxt so the sender retransmits / advances. *)
+      Stats.incr stats "tcp.segments_dropped";
+      send_ack conn
+    end
+  end;
+  if seg.flags land fin_flag <> 0 && seg.seq + len = conn.rcv_nxt + 0 then begin
+    (* FIN in order (its sequence position is right after any data). *)
+    conn.rcv_nxt <- conn.rcv_nxt + 1;
+    conn.peer_fin <- true;
+    ignore (Condition.broadcast conn.recv_cond () : int);
+    send_ack conn
+  end
+
+let make_conn t ~local_port ~peer_ip ~peer_port ~mss ~window ~state ~iss ~irs =
+  {
+    tcp = t;
+    local_port;
+    peer_ip;
+    peer_port;
+    mss;
+    window;
+    unsent = Queue.create ();
+    unacked = Queue.create ();
+    snd_una = iss + 1;
+    snd_nxt = iss + 1;
+    buffered_bytes = 0;
+    send_space = Condition.create ();
+    rto = initial_rto;
+    rto_gen = 0;
+    rcv_nxt = irs;
+    recv_chunks = Queue.create ();
+    recv_bytes = 0;
+    recv_cond = Condition.create ();
+    state;
+    connected = Condition.create ();
+    peer_fin = false;
+    fin_sent = false;
+    total_sent = 0;
+    total_received = 0;
+    retransmissions = 0;
+  }
+
+let handle t (ip_packet : Ipv4.t) =
+  match decode_segment ip_packet.Ipv4.payload with
+  | None -> Stats.incr (Host.stats (host t)) "tcp.garbage"
+  | Some seg -> (
+    let c = costs t in
+    let rx_cost =
+      c.Costs.proto_kernel_per_packet
+      + Costs.checksum_cost c ~bytes:(Packet.length ip_packet.Ipv4.payload)
+    in
+    Host.in_kernel (host t) ~cost:rx_cost (fun () ->
+        Stats.incr (Host.stats (host t)) "tcp.segments_in";
+        let key = (seg.dst_port, ip_packet.Ipv4.src, seg.src_port) in
+        match Hashtbl.find_opt t.conns key with
+        | Some conn -> (
+          match conn.state with
+          | `Syn_sent ->
+            if seg.flags land syn_flag <> 0 && seg.flags land ack_flag <> 0 then begin
+              conn.rcv_nxt <- seg.seq + 1;
+              handle_ack conn seg.ack;
+              conn.state <- `Established;
+              send_ack conn;
+              ignore (Condition.broadcast conn.connected () : int)
+            end
+          | `Syn_rcvd ->
+            if seg.flags land syn_flag <> 0 then
+              (* Retransmitted SYN: our SYN+ACK was lost on the wire. *)
+              segment_out conn ~flags:(syn_flag lor ack_flag) ~seq:0
+                ~payload:(Packet.of_string "")
+            else if seg.flags land ack_flag <> 0 && seg.ack >= conn.snd_una then begin
+              conn.state <- `Established;
+              (match Hashtbl.find_opt t.listeners conn.local_port with
+              | Some l ->
+                Queue.push conn l.backlog;
+                ignore (Condition.signal l.lcond () : bool)
+              | None -> ());
+              handle_data conn seg
+            end
+          | `Established ->
+            if seg.flags land syn_flag <> 0 then
+              (* Duplicate SYN+ACK: our handshake ACK was lost. *)
+              send_ack conn
+            else handle_data conn seg
+          | `Closed -> ())
+        | None ->
+          if seg.flags land syn_flag <> 0 then begin
+            match Hashtbl.find_opt t.listeners seg.dst_port with
+            | Some _listener ->
+              (* Passive open: synthesize the server-side connection and
+                 answer SYN+ACK. *)
+              let conn =
+                make_conn t ~local_port:seg.dst_port ~peer_ip:ip_packet.Ipv4.src
+                  ~peer_port:seg.src_port ~mss:default_mss ~window:default_window
+                  ~state:`Syn_rcvd ~iss:0 ~irs:(seg.seq + 1)
+              in
+              Hashtbl.replace t.conns key conn;
+              segment_out conn ~flags:(syn_flag lor ack_flag) ~seq:0
+                ~payload:(Packet.of_string "")
+            | None -> Stats.incr (Host.stats (host t)) "tcp.refused"
+          end))
+
+let create stack =
+  let t =
+    {
+      stack;
+      conns = Hashtbl.create 16;
+      listeners = Hashtbl.create 8;
+      next_ephemeral = 40000;
+    }
+  in
+  Ipstack.set_proto_handler stack ~protocol:Ipv4.proto_tcp (handle t);
+  t
+
+(* {1 User interface} *)
+
+let listen t ~port =
+  if Hashtbl.mem t.listeners port then
+    invalid_arg (Printf.sprintf "Tcp.listen: port %d in use" port);
+  let l = { lt = t; lport = port; backlog = Queue.create (); lcond = Condition.create () } in
+  Hashtbl.replace t.listeners port l;
+  l
+
+let rec accept ?timeout l =
+  Process.use_cpu (costs l.lt).Costs.syscall;
+  match Queue.take_opt l.backlog with
+  | Some conn -> Some conn
+  | None -> (
+    match Condition.await ?timeout l.lcond with
+    | Some () -> accept ?timeout l
+    | None -> None)
+
+let connect ?(mss = default_mss) ?(window = default_window) t ~dst ~dst_port =
+  let local_port =
+    let p = t.next_ephemeral in
+    t.next_ephemeral <- t.next_ephemeral + 1;
+    p
+  in
+  let conn =
+    make_conn t ~local_port ~peer_ip:dst ~peer_port:dst_port ~mss ~window ~state:`Syn_sent
+      ~iss:0 ~irs:0
+  in
+  Hashtbl.replace t.conns (local_port, dst, dst_port) conn;
+  Process.use_cpu (costs t).Costs.syscall;
+  let rec attempt tries =
+    if tries > syn_retries then None
+    else begin
+      segment_out conn ~flags:syn_flag ~seq:0 ~payload:(Packet.of_string "");
+      if conn.state = `Established then Some conn
+      else begin
+        match Condition.await ~timeout:initial_rto conn.connected with
+        | Some () -> Some conn
+        | None -> if conn.state = `Established then Some conn else attempt (tries + 1)
+      end
+    end
+  in
+  attempt 1
+
+let chunks_of_string mss s =
+  let n = String.length s in
+  let rec go pos acc =
+    if pos >= n then List.rev acc
+    else begin
+      let len = min mss (n - pos) in
+      go (pos + len) (String.sub s pos len :: acc)
+    end
+  in
+  go 0 []
+
+let send conn s =
+  let t = conn.tcp in
+  let c = costs t in
+  Process.use_cpu (c.Costs.syscall + Costs.copy_cost c ~bytes:(String.length s));
+  conn.total_sent <- conn.total_sent + String.length s;
+  let submit chunk =
+    let rec wait_for_space () =
+      if conn.buffered_bytes + String.length chunk > sndbuf_limit then begin
+        ignore (Condition.await conn.send_space : unit option);
+        wait_for_space ()
+      end
+    in
+    wait_for_space ();
+    Queue.push chunk conn.unsent;
+    conn.buffered_bytes <- conn.buffered_bytes + String.length chunk;
+    pump conn
+  in
+  List.iter submit (chunks_of_string conn.mss s)
+
+let rec recv ?max conn =
+  let c = costs conn.tcp in
+  match Queue.take_opt conn.recv_chunks with
+  | Some chunk ->
+    let take = match max with Some m when m < String.length chunk -> m | _ -> String.length chunk in
+    let out, rest =
+      if take = String.length chunk then (chunk, None)
+      else (String.sub chunk 0 take, Some (String.sub chunk take (String.length chunk - take)))
+    in
+    (match rest with
+    | Some r ->
+      (* Put the remainder back at the front: rebuild the queue. *)
+      let tmp = Queue.copy conn.recv_chunks in
+      Queue.clear conn.recv_chunks;
+      Queue.push r conn.recv_chunks;
+      Queue.transfer tmp conn.recv_chunks
+    | None -> ());
+    conn.recv_bytes <- conn.recv_bytes - String.length out;
+    Process.use_cpu (c.Costs.syscall + Costs.copy_cost c ~bytes:(String.length out));
+    Some out
+  | None ->
+    if conn.peer_fin then None
+    else begin
+      match Condition.await conn.recv_cond with
+      | Some () -> recv ?max conn
+      | None -> None
+    end
+
+let rec drain conn =
+  if not (Queue.is_empty conn.unsent && Queue.is_empty conn.unacked) then begin
+    ignore (Condition.await conn.send_space : unit option);
+    drain conn
+  end
+
+let close conn =
+  drain conn;
+  if not conn.fin_sent then begin
+    conn.fin_sent <- true;
+    let seq = conn.snd_nxt in
+    conn.snd_nxt <- seq + 1;
+    segment_out conn ~flags:(fin_flag lor ack_flag) ~seq ~payload:(Packet.of_string "")
+  end
+
+let mss conn = conn.mss
+let bytes_sent conn = conn.total_sent
+let bytes_received conn = conn.total_received
+let retransmissions conn = conn.retransmissions

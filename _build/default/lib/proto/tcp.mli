@@ -1,0 +1,51 @@
+(** Kernel-resident TCP — the 4.3BSD comparison stream transport of
+    tables 6-3, 6-6 and 6-7.
+
+    A deliberately classical implementation: three-way handshake, byte
+    sequence numbers, cumulative ACKs, fixed-size sliding window with
+    go-back-N retransmission, FIN close. Congestion control is omitted (the
+    paper predates it and the simulated LAN never congests persistently).
+    Unlike the measured VMTP/BSP implementations, TCP {e checksums all
+    data} (section 6.3) — both directions charge the per-byte checksum cost.
+
+    The protocol engine lives in the kernel: a user [send] pays one system
+    call and one copy, after which segment transmission, acknowledgment
+    processing and retransmission happen at interrupt level with no further
+    domain crossings (figure 2-3). The segment size [mss] is a parameter so
+    that table 6-6's "TCP forced to use the smaller packet size" row can be
+    reproduced (default 1024 data bytes ≈ the paper's 1078-byte packets;
+    532 matches BSP's maximum). *)
+
+type t
+type listener
+type conn
+
+val create : Ipstack.t -> t
+(** Registers protocol 6; once per host. *)
+
+val listen : t -> port:int -> listener
+val accept : ?timeout:Pf_sim.Time.t -> listener -> conn option
+
+val connect :
+  ?mss:int -> ?window:int -> t -> dst:int32 -> dst_port:int -> conn option
+(** Blocking active open; [None] after unanswered SYNs. [window] is the
+    sender's window in bytes (default 4096). *)
+
+val send : conn -> string -> unit
+(** Stream write: one system call and copy; blocks while the socket buffer
+    is full. Data goes out asynchronously from the kernel. *)
+
+val recv : ?max:int -> conn -> string option
+(** Next chunk of the byte stream (up to [max] bytes, default unlimited);
+    [None] at end-of-stream (peer closed). *)
+
+val drain : conn -> unit
+(** Block until everything written has been acknowledged. *)
+
+val close : conn -> unit
+(** Drain, then send FIN. *)
+
+val mss : conn -> int
+val bytes_sent : conn -> int
+val bytes_received : conn -> int
+val retransmissions : conn -> int

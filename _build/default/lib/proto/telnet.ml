@@ -1,0 +1,47 @@
+module Process = Pf_sim.Process
+
+type transport = Bsp of Bsp.t | Tcp of Tcp.conn
+
+type display = { rate_cps : float; cpu_bound : bool }
+
+let workstation = { rate_cps = 3350.; cpu_bound = true }
+let terminal_9600 = { rate_cps = 960.; cpu_bound = false }
+
+let send transport s =
+  match transport with Bsp conn -> Bsp.send conn s | Tcp conn -> Tcp.send conn s
+
+let recv transport =
+  match transport with Bsp conn -> Bsp.recv conn | Tcp conn -> Tcp.recv conn
+
+let close transport =
+  match transport with Bsp conn -> Bsp.close conn | Tcp conn -> Tcp.close conn
+
+let run_server transport ~chars ~chunk =
+  let chunk = max 1 chunk in
+  let line = String.init chunk (fun i -> Char.chr (32 + ((i * 7) mod 95))) in
+  let rec go remaining =
+    if remaining > 0 then begin
+      let n = min chunk remaining in
+      send transport (if n = chunk then line else String.sub line 0 n);
+      go (remaining - n)
+    end
+  in
+  go chars;
+  close transport
+
+let run_display transport display =
+  let rec go displayed =
+    match recv transport with
+    | None -> displayed
+    | Some s ->
+      let n = String.length s in
+      (* A workstation burns CPU to draw (competing with the protocol); a
+         serial terminal just paces the stream — the bottleneck contrast of
+         table 6-7's rows. *)
+      let draw_time =
+        int_of_float (Float.round (float_of_int n *. 1_000_000. /. display.rate_cps))
+      in
+      if display.cpu_bound then Process.use_cpu draw_time else Process.pause draw_time;
+      go (displayed + n)
+  in
+  go 0

@@ -1,0 +1,34 @@
+(** The Telnet experiment of table 6-7: a "server" host prints characters
+    which are transmitted across the network and displayed at the "user"
+    host, over either Pup/BSP (user-level, packet filter) or IP/TCP
+    (kernel-resident).
+
+    The display sink models the two hardware configurations measured:
+    an MC68010 workstation "capable of displaying about 3350 characters per
+    second", and a 9600-baud terminal (960 chars/second). The experiment
+    reports achieved characters/second at the display. *)
+
+type transport = Bsp of Bsp.t | Tcp of Tcp.conn
+
+type display = {
+  rate_cps : float;
+  cpu_bound : bool;
+      (** A workstation draws characters with its own CPU, competing with
+          protocol processing (which is why table 6-7's first rows achieve
+          only about half of 3350); a serial terminal is an external device
+          that merely paces output. *)
+}
+
+val workstation : display
+(** 3350 chars/s, CPU-bound drawing *)
+
+val terminal_9600 : display
+(** 960 chars/s, external pacing *)
+
+val run_server : transport -> chars:int -> chunk:int -> unit
+(** Generate [chars] printable characters in [chunk]-character writes
+    (terminal output is bursty; 1987 Telnet coalesced into smallish writes). *)
+
+val run_display : transport -> display -> int
+(** Consume the stream until EOF, pacing at the display rate; returns
+    characters displayed. Output rate = chars / elapsed virtual time. *)

@@ -1,0 +1,117 @@
+module Packet = Pf_pkt.Packet
+module Builder = Pf_pkt.Builder
+module Host = Pf_kernel.Host
+module Costs = Pf_sim.Costs
+module Stats = Pf_sim.Stats
+module Process = Pf_sim.Process
+module Condition = Pf_sim.Condition
+
+let queue_limit = 32
+
+type socket = {
+  udp : t;
+  mutable bound : int;
+  queue : (int32 * int * Packet.t) Queue.t;
+  cond : unit Condition.t;
+  mutable is_open : bool;
+}
+
+and t = {
+  stack : Ipstack.t;
+  sockets : (int, socket) Hashtbl.t;
+  mutable next_ephemeral : int;
+}
+
+let encode_datagram ~src_port ~dst_port payload =
+  let b = Builder.create ~capacity:(8 + Packet.length payload) () in
+  Builder.add_word b src_port;
+  Builder.add_word b dst_port;
+  Builder.add_word b (8 + Packet.length payload);
+  Builder.add_word b 0; (* checksum: 0 = none, as in the measured datagrams *)
+  Builder.add_packet b payload;
+  Builder.to_packet b
+
+let handle t (ip_packet : Ipv4.t) =
+  let body = ip_packet.Ipv4.payload in
+  if Packet.length body < 8 then Stats.incr (Host.stats (Ipstack.host t.stack)) "udp.garbage"
+  else begin
+    let host = Ipstack.host t.stack in
+    let costs = Host.costs host in
+    let dst_port = Packet.word body 1 in
+    Stats.incr ~by:(costs.Costs.proto_kernel_per_packet + costs.Costs.wakeup)
+      (Host.stats host) "udp.cpu_us";
+    Host.in_kernel host ~cost:(costs.Costs.proto_kernel_per_packet + costs.Costs.wakeup)
+      (fun () ->
+        match Hashtbl.find_opt t.sockets dst_port with
+        | None -> Stats.incr (Host.stats host) "udp.unreachable"
+        | Some sock ->
+          if Queue.length sock.queue >= queue_limit then
+            Stats.incr (Host.stats host) "udp.drop.overflow"
+          else begin
+            Stats.incr (Host.stats host) "udp.delivered";
+            let payload = Packet.sub body ~pos:8 ~len:(Packet.length body - 8) in
+            Queue.push (ip_packet.Ipv4.src, Packet.word body 0, payload) sock.queue;
+            ignore (Condition.signal sock.cond () : bool)
+          end)
+  end
+
+let create stack =
+  let t = { stack; sockets = Hashtbl.create 16; next_ephemeral = 1024 } in
+  Ipstack.set_proto_handler stack ~protocol:Ipv4.proto_udp (handle t);
+  t
+
+let socket t ?(port = 0) () =
+  let port =
+    if port <> 0 then begin
+      if Hashtbl.mem t.sockets port then
+        invalid_arg (Printf.sprintf "Udp.socket: port %d in use" port);
+      port
+    end
+    else begin
+      while Hashtbl.mem t.sockets t.next_ephemeral do
+        t.next_ephemeral <- t.next_ephemeral + 1
+      done;
+      t.next_ephemeral
+    end
+  in
+  let sock =
+    { udp = t; bound = port; queue = Queue.create (); cond = Condition.create (); is_open = true }
+  in
+  Hashtbl.replace t.sockets port sock;
+  sock
+
+let port sock = sock.bound
+
+let send sock ~dst ~dst_port ?(checksum = false) payload =
+  let t = sock.udp in
+  let host = Ipstack.host t.stack in
+  let costs = Host.costs host in
+  let bytes = Packet.length payload in
+  Process.use_cpu
+    (costs.Costs.syscall
+    + Costs.copy_cost costs ~bytes
+    + costs.Costs.proto_kernel_per_packet
+    + (if checksum then Costs.checksum_cost costs ~bytes else 0));
+  Stats.incr (Host.stats host) "udp.sent";
+  Ipstack.send t.stack ~dst ~protocol:Ipv4.proto_udp
+    (encode_datagram ~src_port:sock.bound ~dst_port payload)
+
+let rec recv ?timeout sock =
+  let host = Ipstack.host sock.udp.stack in
+  let costs = Host.costs host in
+  match Queue.take_opt sock.queue with
+  | Some ((_, _, payload) as datagram) ->
+    Process.use_cpu (costs.Costs.syscall + Costs.copy_cost costs ~bytes:(Packet.length payload));
+    Some datagram
+  | None ->
+    if not sock.is_open then None
+    else begin
+      match Condition.await ?timeout sock.cond with
+      | Some () -> recv ?timeout sock
+      | None -> None
+    end
+
+let close sock =
+  sock.is_open <- false;
+  Hashtbl.remove sock.udp.sockets sock.bound;
+  ignore (Condition.broadcast sock.cond () : int)

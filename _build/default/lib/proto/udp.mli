@@ -1,0 +1,29 @@
+(** Kernel-resident UDP (figure 3-2; the comparison datagram path of
+    table 6-1).
+
+    A socket owns a UDP port number; receiving runs in the kernel (which
+    charges kernel protocol costs and wakes the reader once per datagram),
+    and [send]/[recv] charge the system-call and copy costs of crossing the
+    user/kernel boundary. *)
+
+type t
+type socket
+
+val create : Ipstack.t -> t
+(** Registers protocol 17 with the stack; call once per host. *)
+
+val socket : t -> ?port:int -> unit -> socket
+(** [port] 0 (default) binds an ephemeral port. Raises [Invalid_argument] if
+    the port is taken. *)
+
+val port : socket -> int
+
+val send : socket -> dst:int32 -> dst_port:int -> ?checksum:bool -> Pf_pkt.Packet.t -> unit
+(** [checksum] defaults false — the paper's table 6-1 sends "unchecksummed
+    UDP datagrams"; [true] adds the per-byte checksum cost. *)
+
+val recv : ?timeout:Pf_sim.Time.t -> socket -> (int32 * int * Pf_pkt.Packet.t) option
+(** Source IP, source port, payload. *)
+
+val close : socket -> unit
+val queue_limit : int

@@ -1,0 +1,1 @@
+lib/sim/process.ml: Cpu Effect Engine Fun List Option Time

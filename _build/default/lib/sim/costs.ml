@@ -1,0 +1,65 @@
+type t = {
+  context_switch : Time.t;
+  syscall : Time.t;
+  copy_base : Time.t;
+  copy_per_kbyte : Time.t;
+  filter_insn : Time.t;
+  filter_apply : Time.t;
+  recv_interrupt : Time.t;
+  send_path : Time.t;
+  send_per_kbyte : Time.t;
+  proto_user_per_packet : Time.t;
+  proto_kernel_per_packet : Time.t;
+  ip_overhead : Time.t;
+  checksum_per_kbyte : Time.t;
+  pipe_transfer : Time.t;
+  timestamp : Time.t;
+  wakeup : Time.t;
+}
+
+let microvax_ii =
+  {
+    context_switch = 400;
+    syscall = 250;
+    copy_base = 500;
+    copy_per_kbyte = 1000;
+    filter_insn = 29;
+    filter_apply = 35;
+    recv_interrupt = 900;
+    send_path = 1000;
+    send_per_kbyte = 250;
+    proto_user_per_packet = 700;
+    proto_kernel_per_packet = 350;
+    ip_overhead = 450;
+    checksum_per_kbyte = 1100;
+    pipe_transfer = 300;
+    timestamp = 70;
+    wakeup = 200;
+  }
+
+let scale f t =
+  let s v = int_of_float (Float.round (f *. float_of_int v)) in
+  {
+    context_switch = s t.context_switch;
+    syscall = s t.syscall;
+    copy_base = s t.copy_base;
+    copy_per_kbyte = s t.copy_per_kbyte;
+    filter_insn = s t.filter_insn;
+    filter_apply = s t.filter_apply;
+    recv_interrupt = s t.recv_interrupt;
+    send_path = s t.send_path;
+    send_per_kbyte = s t.send_per_kbyte;
+    proto_user_per_packet = s t.proto_user_per_packet;
+    proto_kernel_per_packet = s t.proto_kernel_per_packet;
+    ip_overhead = s t.ip_overhead;
+    checksum_per_kbyte = s t.checksum_per_kbyte;
+    pipe_transfer = s t.pipe_transfer;
+    timestamp = s t.timestamp;
+    wakeup = s t.wakeup;
+  }
+
+let vax_780 = { microvax_ii with timestamp = 70 }
+let free = scale 0. microvax_ii
+let per_kbyte rate ~bytes = rate * bytes / 1024
+let copy_cost t ~bytes = t.copy_base + per_kbyte t.copy_per_kbyte ~bytes
+let checksum_cost t ~bytes = per_kbyte t.checksum_per_kbyte ~bytes

@@ -1,0 +1,49 @@
+type owner = [ `Proc of int | `Interrupt ]
+
+type t = {
+  costs : Costs.t;
+  mutable busy_until : Time.t;
+  mutable last_proc : int option;
+  mutable context_switches : int;
+  mutable busy_time : Time.t;
+}
+
+let create costs =
+  { costs; busy_until = 0; last_proc = None; context_switches = 0; busy_time = 0 }
+
+let costs t = t.costs
+
+let run t ~owner ~start ~cost =
+  let start = max start t.busy_until in
+  let switch =
+    match owner with
+    | `Interrupt -> 0
+    | `Proc id ->
+      let charged =
+        match t.last_proc with
+        | Some prev when prev = id -> 0
+        | Some _ -> t.costs.Costs.context_switch
+        | None -> 0 (* first process to run: nothing to switch from *)
+      in
+      if charged > 0 then t.context_switches <- t.context_switches + 1;
+      t.last_proc <- Some id;
+      charged
+  in
+  let finish = start + switch + cost in
+  t.busy_until <- finish;
+  t.busy_time <- t.busy_time + switch + cost;
+  finish
+
+(* Process ids start at 1; owner 0 is the scheduler/idle pseudo-process a
+   blocked process hands the CPU to. *)
+let mark_descheduled t =
+  match t.last_proc with Some _ -> t.last_proc <- Some 0 | None -> ()
+
+let busy_until t = t.busy_until
+let context_switches t = t.context_switches
+let busy_time t = t.busy_time
+
+let idle_since t ~start ~now =
+  let window = now - start in
+  let busy = min t.busy_time window in
+  max 0 (window - busy)

@@ -1,0 +1,33 @@
+(** A host CPU: a serializing resource with context-switch accounting.
+
+    Work is queued FCFS (the simulation does not model preemption): a request
+    for [cost] microseconds starting at [start] completes at
+    [max start busy_until + switch + cost]. A switch charge of
+    [Costs.context_switch] is added whenever ownership passes from one
+    process to a different one; work done in interrupt context ([`Interrupt])
+    borrows the current context and never charges or changes ownership,
+    matching how the paper counts context switches (section 6.5.1). *)
+
+type t
+
+type owner = [ `Proc of int | `Interrupt ]
+
+val create : Costs.t -> t
+val costs : t -> Costs.t
+
+val run : t -> owner:owner -> start:Time.t -> cost:Time.t -> Time.t
+(** Returns the completion time of the work. *)
+
+val mark_descheduled : t -> unit
+(** Note that the running process blocked or slept: the scheduler (and
+    possibly other work) runs next, so the next process to run pays a
+    context switch even if it is the same one — each blocking wakeup costs
+    one switch, as in the paper's §6.5.1 accounting. *)
+
+val busy_until : t -> Time.t
+val context_switches : t -> int
+val busy_time : t -> Time.t
+(** Total CPU time consumed, including switch charges. *)
+
+val idle_since : t -> start:Time.t -> now:Time.t -> Time.t
+(** Idle time in the window [start, now]. *)

@@ -1,0 +1,93 @@
+(* Binary min-heap on (time, seq); a fresh seq per event makes the order of
+   same-time events deterministic (FIFO in scheduling order). *)
+
+type event = { time : Time.t; seq : int; run : unit -> unit }
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : Time.t;
+  mutable next_seq : int;
+  mutable processed : int;
+}
+
+let dummy = { time = 0; seq = 0; run = ignore }
+let create () = { heap = Array.make 64 dummy; size = 0; clock = 0; next_seq = 0; processed = 0 }
+let now t = t.clock
+let pending t = t.size
+let events_processed t = t.processed
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let push t ev =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  let heap = t.heap in
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  heap.(!i) <- ev;
+  (* sift up *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if earlier heap.(!i) heap.(parent) then begin
+      let tmp = heap.(parent) in
+      heap.(parent) <- heap.(!i);
+      heap.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop t =
+  let heap = t.heap in
+  let top = heap.(0) in
+  t.size <- t.size - 1;
+  heap.(0) <- heap.(t.size);
+  heap.(t.size) <- dummy;
+  (* sift down *)
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && earlier heap.(l) heap.(!smallest) then smallest := l;
+    if r < t.size && earlier heap.(r) heap.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = heap.(!smallest) in
+      heap.(!smallest) <- heap.(!i);
+      heap.(!i) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done;
+  top
+
+let schedule t ~at run =
+  let at = if at < t.clock then t.clock else at in
+  let ev = { time = at; seq = t.next_seq; run } in
+  t.next_seq <- t.next_seq + 1;
+  push t ev
+
+let schedule_after t delay run = schedule t ~at:(t.clock + delay) run
+
+let run ?until t =
+  let continue = ref true in
+  while !continue && t.size > 0 do
+    let next = t.heap.(0) in
+    match until with
+    | Some limit when next.time > limit ->
+      t.clock <- limit;
+      continue := false
+    | Some _ | None ->
+      let ev = pop t in
+      t.clock <- ev.time;
+      t.processed <- t.processed + 1;
+      ev.run ()
+  done;
+  match until with
+  | Some limit when t.size = 0 && t.clock < limit -> t.clock <- limit
+  | Some _ | None -> ()

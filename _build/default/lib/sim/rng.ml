@@ -1,0 +1,24 @@
+(* SplitMix64: tiny, fast, and plenty good for workload synthesis. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
+
+let float t bound =
+  let mantissa = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  bound *. mantissa /. 9007199254740992. (* 2^53 *)
+
+let bool t p = float t 1.0 < p
+let exponential t ~mean = -.mean *. log1p (-.float t 1.0)
+let pick t arr = arr.(int t (Array.length arr))

@@ -1,0 +1,21 @@
+(** Deterministic pseudo-random numbers (SplitMix64) for synthetic workloads.
+
+    Simulations never consult the global [Random] state: every experiment
+    seeds its own generator so runs are reproducible. *)
+
+type t
+
+val create : int -> t
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n); [n] must be positive. *)
+
+val float : t -> float -> float
+(** Uniform in [0, bound). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed inter-arrival times for Poisson traffic. *)
+
+val pick : t -> 'a array -> 'a

@@ -1,0 +1,17 @@
+(** Named counters for instrumenting simulations.
+
+    Counters are created on first use; [get] of an untouched counter is 0.
+    Used for the bookkeeping the paper reports: packets handled, context
+    switches, system calls, filter instructions interpreted, bytes copied,
+    queue-overflow drops. *)
+
+type t
+
+val create : unit -> t
+val incr : ?by:int -> t -> string -> unit
+val get : t -> string -> int
+val reset : t -> unit
+val pairs : t -> (string * int) list
+(** Sorted by name. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,9 @@
+type t = int
+
+let zero = 0
+let us n = n
+let ms f = int_of_float (Float.round (f *. 1000.))
+let sec f = int_of_float (Float.round (f *. 1_000_000.))
+let to_ms t = float_of_int t /. 1000.
+let to_sec t = float_of_int t /. 1_000_000.
+let pp ppf t = Format.fprintf ppf "%.2fms" (to_ms t)

@@ -1,0 +1,18 @@
+(** Virtual time, in integer microseconds.
+
+    The paper reports costs in milliseconds with tenths (e.g. 1.57 mSec);
+    microsecond integer resolution keeps the simulation exact and avoids
+    float drift in the event queue. *)
+
+type t = int
+
+val zero : t
+val us : int -> t
+val ms : float -> t
+(** [ms 1.57] = 1570. *)
+
+val sec : float -> t
+val to_ms : t -> float
+val to_sec : t -> float
+val pp : Format.formatter -> t -> unit
+(** Prints as milliseconds with two decimals. *)

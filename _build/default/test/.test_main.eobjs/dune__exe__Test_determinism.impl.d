@@ -1,0 +1,1 @@
+test/test_determinism.ml: Alcotest Digest Format Int32 Ipstack Ipv4 List Pf_kernel Pf_monitor Pf_net Pf_pkt Pf_proto Pf_sim Printf Pup Pup_socket String Testutil Udp

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Decision Expr Fast Format Int32 Interp List Pf_filter Pf_pkt Predicates Printf Program QCheck QCheck_alcotest String Testutil Validate

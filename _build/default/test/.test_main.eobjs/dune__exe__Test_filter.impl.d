@@ -1,0 +1,1 @@
+test/test_filter.ml: Action Alcotest Bytes Closure Fast Format Insn Interp List Op Option Pf_filter Pf_pkt Predicates Printf Program QCheck QCheck_alcotest Result Testutil Validate

@@ -1,0 +1,1 @@
+test/test_internet.ml: Alcotest Array Bsp Buffer Char List Pf_filter Pf_kernel Pf_net Pf_pkt Pf_proto Pf_sim Pup Pup_gateway Pup_socket String

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Format Host Int32 List Option Pf_filter Pf_kernel Pf_net Pf_pkt Pf_sim Pfdev Pipe Printf Result String Testutil Userdemux

@@ -1,0 +1,1 @@
+test/test_loss.ml: Alcotest Array Bsp Buffer Char Int32 Ipstack Ipv4 List Pf_filter Pf_kernel Pf_net Pf_pkt Pf_proto Pf_sim Pup Pup_socket String Tcp Testutil Vmtp

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Bsp Eftp Format Ipstack Ipv4 Option Pf_filter Pf_kernel Pf_net Pf_pkt Pf_proto Pf_sim Pup Pup_socket Tcp Telnet Udp

@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Capture Decode Ipstack Ipv4 List Pf_filter Pf_kernel Pf_monitor Pf_net Pf_pkt Pf_proto Pf_sim Printf Testutil Traffic Udp

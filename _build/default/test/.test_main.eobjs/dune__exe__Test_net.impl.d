@@ -1,0 +1,1 @@
+test/test_net.ml: Addr Alcotest Ethertype Frame Link List Nic Pf_net Pf_pkt Pf_sim String

@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Builder Bytes Char Format Fun List Packet Pf_pkt QCheck QCheck_alcotest String Testutil

@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Expr Format Gen Int32 Interp List Parse Pf_filter Pf_pkt Printf QCheck QCheck_alcotest Testutil

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Action Alcotest Closure Decision Fast Insn Interp List Op Peephole Pf_filter Pf_pkt Predicates Printf Program QCheck QCheck_alcotest Testutil Validate

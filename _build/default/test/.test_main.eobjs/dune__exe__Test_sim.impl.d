@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Condition Costs Cpu Engine List Pf_sim Process Rng Stats Time

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Bytes Capture Filename Flows Format Fun Gen List Pf_monitor Pf_net Pf_pkt Printf QCheck QCheck_alcotest String Sys Testutil Tracefile

@@ -1,0 +1,1 @@
+test/testutil.ml: Action Format Insn Int32 Interp List Op Option Pf_filter Pf_pkt Pf_sim QCheck String

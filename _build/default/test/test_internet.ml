@@ -1,0 +1,203 @@
+(* Pup internetworking through a user-level gateway, and Ethernet multicast
+   (the V-system's §5.2 hardware feature). *)
+
+open Pf_proto
+module Packet = Pf_pkt.Packet
+module Engine = Pf_sim.Engine
+module Host = Pf_kernel.Host
+module Addr = Pf_net.Addr
+module Frame = Pf_net.Frame
+
+(* Two experimental Ethernets joined by a two-interface gateway machine. *)
+let internet () =
+  let eng = Engine.create () in
+  let net1 = Pf_net.Link.create eng Frame.Exp3 ~rate_mbit:3. () in
+  let net2 = Pf_net.Link.create eng Frame.Exp3 ~rate_mbit:3. () in
+  let alice = Host.create net1 ~name:"alice" ~addr:(Addr.exp 10) in
+  let bob = Host.create net2 ~name:"bob" ~addr:(Addr.exp 20) in
+  let gw = Host.create net1 ~name:"gateway" ~addr:(Addr.exp 1) in
+  let _gw_if2 = Host.add_interface gw net2 ~addr:(Addr.exp 2) in
+  let interfaces =
+    match Host.interfaces gw with
+    | [ (nic1, pf1); (nic2, pf2) ] -> [ (1, nic1, pf1); (2, nic2, pf2) ]
+    | _ -> assert false
+  in
+  let gateway = Pup_gateway.start gw ~interfaces () in
+  (eng, alice, bob, gateway)
+
+let test_gateway_forwards () =
+  let eng, alice, bob, gateway = internet () in
+  let sock_a = Pup_socket.create ~net:1 alice ~socket:0x10l in
+  let sock_b = Pup_socket.create ~net:2 bob ~socket:0x20l in
+  (* Each side routes the foreign net through its gateway interface. *)
+  Pup_socket.set_route sock_a ~net:2 ~via:1;
+  Pup_socket.set_route sock_b ~net:1 ~via:2;
+  let got = ref None and reply = ref None in
+  ignore
+    (Host.spawn bob ~name:"server" (fun () ->
+         got := Pup_socket.recv ~timeout:2_000_000 sock_b;
+         match !got with
+         | Some pup ->
+           Pup_socket.send sock_b ~dst:pup.Pup.src ~ptype:2 ~id:pup.Pup.id
+             (Packet.of_string "pong-across-nets")
+         | None -> ()));
+  ignore
+    (Host.spawn alice ~name:"client" (fun () ->
+         Pup_socket.send sock_a
+           ~dst:(Pup.port ~net:2 ~host:20 0x20l)
+           ~ptype:1 ~id:7l (Packet.of_string "ping-across-nets");
+         reply := Pup_socket.recv ~timeout:2_000_000 sock_a));
+  Engine.run eng;
+  (match !got with
+  | Some pup ->
+    Alcotest.(check string) "request crossed" "ping-across-nets"
+      (Packet.to_string pup.Pup.data);
+    (* The gateway incremented the hop count. *)
+    Alcotest.(check int) "one hop" 1 pup.Pup.transport_control;
+    Alcotest.(check int) "source net preserved" 1 pup.Pup.src.Pup.net
+  | None -> Alcotest.fail "request did not cross the gateway");
+  (match !reply with
+  | Some pup ->
+    Alcotest.(check string) "reply crossed back" "pong-across-nets"
+      (Packet.to_string pup.Pup.data)
+  | None -> Alcotest.fail "reply did not cross back");
+  Alcotest.(check int) "two forwards" 2 (Pup_gateway.forwarded gateway);
+  Pup_gateway.stop gateway;
+  Engine.run eng
+
+let test_gateway_drops_hop_exhausted () =
+  let eng, alice, _bob, gateway = internet () in
+  let sock_a = Pup_socket.create ~net:1 alice ~socket:0x10l in
+  Pup_socket.set_route sock_a ~net:2 ~via:1;
+  ignore
+    (Host.spawn alice ~name:"client" (fun () ->
+         Pup_socket.send sock_a
+           ~transport_control:Pup_gateway.max_hops
+           ~dst:(Pup.port ~net:2 ~host:20 0x20l)
+           ~ptype:1 ~id:1l (Packet.of_string "tired")));
+  Engine.run ~until:1_000_000 eng;
+  Alcotest.(check int) "dropped" 1 (Pup_gateway.dropped gateway);
+  Alcotest.(check int) "not forwarded" 0 (Pup_gateway.forwarded gateway);
+  Pup_gateway.stop gateway;
+  Engine.run eng
+
+let test_gateway_unroutable () =
+  let eng, alice, _bob, gateway = internet () in
+  let sock_a = Pup_socket.create ~net:1 alice ~socket:0x10l in
+  Pup_socket.set_route sock_a ~net:9 ~via:1;
+  ignore
+    (Host.spawn alice ~name:"client" (fun () ->
+         Pup_socket.send sock_a
+           ~dst:(Pup.port ~net:9 ~host:9 0x9l)
+           ~ptype:1 ~id:1l (Packet.of_string "nowhere")));
+  Engine.run ~until:1_000_000 eng;
+  Alcotest.(check int) "unroutable dropped" 1 (Pup_gateway.dropped gateway);
+  Pup_gateway.stop gateway;
+  Engine.run eng
+
+let test_bsp_across_gateway () =
+  (* A user-level stream, through a user-level gateway, over two networks —
+     all of it on the packet filter. *)
+  let eng, alice, bob, gateway = internet () in
+  let sock_a = Pup_socket.create ~net:1 alice ~socket:0x11l in
+  let sock_b = Pup_socket.create ~net:2 bob ~socket:0x22l in
+  Pup_socket.set_route sock_a ~net:2 ~via:1;
+  Pup_socket.set_route sock_b ~net:1 ~via:2;
+  let file = String.init 10_000 (fun i -> Char.chr (48 + (i mod 75))) in
+  let received = Buffer.create 10_000 in
+  ignore
+    (Host.spawn bob ~name:"sink" (fun () ->
+         let conn = Bsp.accept sock_b () in
+         let rec drain () =
+           match Bsp.recv conn with
+           | Some s ->
+             Buffer.add_string received s;
+             drain ()
+           | None -> ()
+         in
+         drain ()));
+  ignore
+    (Host.spawn alice ~name:"source" (fun () ->
+         match Bsp.connect sock_a ~peer:(Pup.port ~net:2 ~host:20 0x22l) () with
+         | Some conn ->
+           Bsp.send conn file;
+           Bsp.close conn
+         | None -> Alcotest.fail "connect across gateway failed"));
+  Engine.run eng;
+  Alcotest.(check string) "stream intact across two nets" file (Buffer.contents received);
+  Alcotest.(check bool) "gateway carried it" true (Pup_gateway.forwarded gateway > 30);
+  Pup_gateway.stop gateway;
+  Engine.run eng
+
+(* {1 Multicast} *)
+
+let test_multicast_delivery () =
+  let eng = Engine.create () in
+  let link = Pf_net.Link.create eng Frame.Dix10 ~rate_mbit:10. () in
+  let sender = Host.create ~costs:Pf_sim.Costs.free link ~name:"s" ~addr:(Addr.eth_host 1) in
+  let mk name i =
+    Host.create ~costs:Pf_sim.Costs.free link ~name ~addr:(Addr.eth_host i)
+  in
+  let member1 = mk "m1" 2 and member2 = mk "m2" 3 and outsider = mk "out" 4 in
+  let group = Addr.eth_multicast 0x42 in
+  Alcotest.(check bool) "group bit set" true (Addr.is_multicast group);
+  Alcotest.(check bool) "unicast is not multicast" false
+    (Addr.is_multicast (Addr.eth_host 7));
+  Host.join_multicast member1 group;
+  Host.join_multicast member2 group;
+  let counts = Array.make 3 0 in
+  List.iteri
+    (fun idx host ->
+      let port = Pf_kernel.Pfdev.open_port (Host.pf host) in
+      (match Pf_kernel.Pfdev.set_filter port Pf_filter.Predicates.accept_all with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "set_filter");
+      Pf_kernel.Pfdev.set_timeout port (Some 100_000);
+      ignore
+        (Host.spawn host ~name:"member" (fun () ->
+             while Pf_kernel.Pfdev.read port <> None do
+               counts.(idx) <- counts.(idx) + 1
+             done)))
+    [ member1; member2; outsider ];
+  let tx = Pf_kernel.Pfdev.open_port (Host.pf sender) in
+  ignore
+    (Host.spawn sender ~name:"tx" (fun () ->
+         Pf_kernel.Pfdev.write tx
+           (Frame.encode Frame.Dix10 ~dst:group ~src:(Host.addr sender) ~ethertype:0x0701
+              (Packet.of_string "group message"))));
+  Engine.run eng;
+  Alcotest.(check int) "member1 got it" 1 counts.(0);
+  Alcotest.(check int) "member2 got it" 1 counts.(1);
+  Alcotest.(check int) "outsider filtered by hardware" 0 counts.(2)
+
+let test_multicast_leave () =
+  let eng = Engine.create () in
+  let link = Pf_net.Link.create eng Frame.Dix10 ~rate_mbit:10. () in
+  let sender = Host.create ~costs:Pf_sim.Costs.free link ~name:"s" ~addr:(Addr.eth_host 1) in
+  let member = Host.create ~costs:Pf_sim.Costs.free link ~name:"m" ~addr:(Addr.eth_host 2) in
+  let group = Addr.eth_multicast 7 in
+  Pf_net.Nic.join_multicast (Host.nic member) group;
+  Pf_net.Nic.leave_multicast (Host.nic member) group;
+  let port = Pf_kernel.Pfdev.open_port (Host.pf member) in
+  (match Pf_kernel.Pfdev.set_filter port Pf_filter.Predicates.accept_all with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "set_filter");
+  let tx = Pf_kernel.Pfdev.open_port (Host.pf sender) in
+  ignore
+    (Host.spawn sender ~name:"tx" (fun () ->
+         Pf_kernel.Pfdev.write tx
+           (Frame.encode Frame.Dix10 ~dst:group ~src:(Host.addr sender) ~ethertype:0x0701
+              (Packet.of_string "gone"))));
+  Engine.run eng;
+  Alcotest.(check int) "left the group" 0 (Pf_kernel.Pfdev.poll port)
+
+let suite =
+  ( "internet",
+    [
+      Alcotest.test_case "gateway forwards both ways" `Quick test_gateway_forwards;
+      Alcotest.test_case "gateway hop exhaustion" `Quick test_gateway_drops_hop_exhausted;
+      Alcotest.test_case "gateway unroutable net" `Quick test_gateway_unroutable;
+      Alcotest.test_case "bsp across the gateway" `Quick test_bsp_across_gateway;
+      Alcotest.test_case "multicast delivery" `Quick test_multicast_delivery;
+      Alcotest.test_case "multicast leave" `Quick test_multicast_leave;
+    ] )

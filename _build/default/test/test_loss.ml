@@ -1,0 +1,215 @@
+(* Failure injection: random frame loss on the wire ("transmission is
+   unreliable if the data link is unreliable", §3). Every reliable
+   transport must deliver the exact byte stream anyway; datagram users see
+   the loss. Also: select- and signal-driven servers (§3's "two more
+   sophisticated synchronization mechanisms"). *)
+
+open Pf_proto
+module Packet = Pf_pkt.Packet
+module Engine = Pf_sim.Engine
+module Process = Pf_sim.Process
+module Host = Pf_kernel.Host
+module Pfdev = Pf_kernel.Pfdev
+module Addr = Pf_net.Addr
+module Frame = Pf_net.Frame
+
+let lossy_exp3 ~loss ~seed =
+  let eng = Engine.create () in
+  let link =
+    Pf_net.Link.create eng Frame.Exp3 ~rate_mbit:3.
+      ~loss:(loss, Pf_sim.Rng.create seed) ()
+  in
+  let a = Host.create link ~name:"a" ~addr:(Addr.exp 1) in
+  let b = Host.create link ~name:"b" ~addr:(Addr.exp 2) in
+  (eng, link, a, b)
+
+let test_bsp_over_lossy_wire () =
+  let eng, link, a, b = lossy_exp3 ~loss:0.08 ~seed:99 in
+  let file = String.init 20_000 (fun i -> Char.chr (33 + (i mod 90))) in
+  let sock_a = Pup_socket.create a ~socket:1l in
+  let sock_b = Pup_socket.create b ~socket:2l in
+  let received = Buffer.create 20_000 in
+  ignore
+    (Host.spawn b ~name:"sink" (fun () ->
+         let conn = Bsp.accept ~rto:40_000 sock_b () in
+         let rec drain () =
+           match Bsp.recv conn with
+           | Some s ->
+             Buffer.add_string received s;
+             drain ()
+           | None -> ()
+         in
+         drain ()));
+  let retrans = ref 0 in
+  ignore
+    (Host.spawn a ~name:"source" (fun () ->
+         match Bsp.connect sock_a ~peer:(Pup.port ~host:2 2l) ~rto:40_000 () with
+         | Some conn ->
+           Bsp.send conn file;
+           retrans := Bsp.retransmissions conn;
+           Bsp.close conn
+         | None -> Alcotest.fail "connect failed over lossy wire"));
+  Engine.run eng;
+  Alcotest.(check string) "stream exact despite 8% loss" file (Buffer.contents received);
+  Alcotest.(check bool) "wire really lost frames" true (Pf_net.Link.frames_dropped link > 5);
+  Alcotest.(check bool) "go-back-n recovered" true (!retrans > 0)
+
+let test_tcp_over_lossy_wire () =
+  let eng = Engine.create () in
+  let link =
+    Pf_net.Link.create eng Frame.Dix10 ~rate_mbit:10.
+      ~loss:(0.05, Pf_sim.Rng.create 7) ()
+  in
+  let a = Host.create link ~name:"a" ~addr:(Addr.eth_host 1) in
+  let b = Host.create link ~name:"b" ~addr:(Addr.eth_host 2) in
+  let ip_a = Ipv4.addr_of_string "10.0.0.1" and ip_b = Ipv4.addr_of_string "10.0.0.2" in
+  let stack_a = Ipstack.attach a ~ip:ip_a in
+  let stack_b = Ipstack.attach b ~ip:ip_b in
+  Ipstack.add_route stack_a ~ip:ip_b (Host.addr b);
+  Ipstack.add_route stack_b ~ip:ip_a (Host.addr a);
+  let tcp_a = Tcp.create stack_a and tcp_b = Tcp.create stack_b in
+  let listener = Tcp.listen tcp_b ~port:80 in
+  let data = String.init 60_000 (fun i -> Char.chr (65 + (i mod 26))) in
+  let received = Buffer.create 60_000 in
+  ignore
+    (Host.spawn b ~name:"sink" (fun () ->
+         match Tcp.accept listener with
+         | Some conn ->
+           let rec drain () =
+             match Tcp.recv conn with
+             | Some s ->
+               Buffer.add_string received s;
+               drain ()
+             | None -> ()
+           in
+           drain ()
+         | None -> Alcotest.fail "accept failed"));
+  let retrans = ref 0 in
+  ignore
+    (Host.spawn a ~name:"source" (fun () ->
+         match Tcp.connect tcp_a ~dst:ip_b ~dst_port:80 with
+         | Some conn ->
+           Tcp.send conn data;
+           Tcp.drain conn;
+           retrans := Tcp.retransmissions conn;
+           Tcp.close conn
+         | None -> Alcotest.fail "connect failed over lossy wire"));
+  Engine.run eng;
+  Alcotest.(check string) "stream exact despite 5% loss" data (Buffer.contents received);
+  Alcotest.(check bool) "retransmissions occurred" true (!retrans > 0)
+
+let test_vmtp_over_lossy_wire () =
+  let eng = Engine.create () in
+  let link =
+    Pf_net.Link.create eng Frame.Dix10 ~rate_mbit:10.
+      ~loss:(0.05, Pf_sim.Rng.create 3) ()
+  in
+  let a = Host.create link ~name:"a" ~addr:(Addr.eth_host 1) in
+  let b = Host.create link ~name:"b" ~addr:(Addr.eth_host 2) in
+  let impl = Vmtp.User { batch = true } in
+  let server =
+    Vmtp.server b impl ~entity:1l
+      ~handler:(fun _ -> Packet.of_string (String.make 8_000 'v'))
+  in
+  let ok = ref 0 in
+  ignore
+    (Host.spawn a ~name:"caller" (fun () ->
+         let client = Vmtp.client a impl ~entity:2l in
+         for _ = 1 to 3 do
+           match Vmtp.call client ~server:1l ~server_addr:(Host.addr b) (Packet.of_string "r") with
+           | Some resp when Packet.length resp = 8_000 -> incr ok
+           | Some _ | None -> ()
+         done;
+         Vmtp.stop_server server));
+  Engine.run ~until:60_000_000 eng;
+  Alcotest.(check int) "all transactions completed via masks" 3 !ok
+
+(* {1 Select- and signal-driven servers (§3)} *)
+
+let test_select_driven_multi_port_server () =
+  let eng, _, a, b = lossy_exp3 ~loss:0. ~seed:0 in
+  (* One process serving three Pup sockets with select — no dedicated
+     process per port. *)
+  let ports =
+    List.map
+      (fun s ->
+        let port = Pfdev.open_port (Host.pf b) in
+        (match
+           Pfdev.set_filter port (Pf_filter.Predicates.pup_dst_socket (Int32.of_int s))
+         with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "set_filter");
+        port)
+      [ 101; 102; 103 ]
+  in
+  let served = Array.make 3 0 in
+  ignore
+    (Host.spawn b ~name:"multi-server" (fun () ->
+         let continue = ref true in
+         while !continue do
+           match Pfdev.select ~timeout:150_000 ports with
+           | [] -> continue := false
+           | ready ->
+             List.iter
+               (fun p ->
+                 match Pfdev.read p with
+                 | Some _ ->
+                   let idx =
+                     match List.mapi (fun i q -> (i, q)) ports |> List.find_opt (fun (_, q) -> q == p) with
+                     | Some (i, _) -> i
+                     | None -> -1
+                   in
+                   served.(idx) <- served.(idx) + 1
+                 | None -> ())
+               ready
+         done));
+  let tx = Pfdev.open_port (Host.pf a) in
+  ignore
+    (Host.spawn a ~name:"client" (fun () ->
+         List.iter
+           (fun s ->
+             Pfdev.write tx
+               (Testutil.pup_frame ~dst_byte:2 ~dst_socket:(Int32.of_int s) ());
+             Process.pause 10_000)
+           [ 101; 103; 102; 101 ]));
+  Engine.run eng;
+  Alcotest.(check (list int)) "per-port service counts" [ 2; 1; 1 ] (Array.to_list served)
+
+let test_signal_driven_reader () =
+  (* Non-blocking I/O via the signal facility: the handler marks work; the
+     process polls without ever blocking in read. *)
+  let eng, _, a, b = lossy_exp3 ~loss:0. ~seed:0 in
+  let port = Pfdev.open_port (Host.pf b) in
+  (match Pfdev.set_filter port Pf_filter.Predicates.accept_all with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "set_filter");
+  let pending = ref 0 and got = ref 0 in
+  Pfdev.set_signal port (Some (fun () -> incr pending));
+  ignore
+    (Host.spawn b ~name:"async" (fun () ->
+         for _ = 1 to 50 do
+           while !pending > 0 && Pfdev.poll port > 0 do
+             decr pending;
+             match Pfdev.read port with Some _ -> incr got | None -> ()
+           done;
+           Process.pause 5_000
+         done));
+  let tx = Pfdev.open_port (Host.pf a) in
+  ignore
+    (Host.spawn a ~name:"client" (fun () ->
+         for _ = 1 to 6 do
+           Pfdev.write tx (Testutil.pup_frame ~dst_byte:2 ());
+           Process.pause 20_000
+         done));
+  Engine.run eng;
+  Alcotest.(check int) "all six via signals" 6 !got
+
+let suite =
+  ( "loss+async",
+    [
+      Alcotest.test_case "bsp over 8% loss" `Quick test_bsp_over_lossy_wire;
+      Alcotest.test_case "tcp over 5% loss" `Quick test_tcp_over_lossy_wire;
+      Alcotest.test_case "vmtp over 5% loss" `Quick test_vmtp_over_lossy_wire;
+      Alcotest.test_case "select-driven server" `Quick test_select_driven_multi_port_server;
+      Alcotest.test_case "signal-driven reader" `Quick test_signal_driven_reader;
+    ] )

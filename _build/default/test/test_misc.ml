@@ -1,0 +1,193 @@
+(* Edge cases across the substrate that no other suite pins down. *)
+
+open Pf_proto
+module Packet = Pf_pkt.Packet
+module Engine = Pf_sim.Engine
+module Process = Pf_sim.Process
+module Host = Pf_kernel.Host
+module Pfdev = Pf_kernel.Pfdev
+module Pipe = Pf_kernel.Pipe
+module Addr = Pf_net.Addr
+module Frame = Pf_net.Frame
+
+let dix_world () =
+  let eng = Engine.create () in
+  let link = Pf_net.Link.create eng Frame.Dix10 ~rate_mbit:10. () in
+  let a = Host.create ~costs:Pf_sim.Costs.free link ~name:"a" ~addr:(Addr.eth_host 1) in
+  let b = Host.create ~costs:Pf_sim.Costs.free link ~name:"b" ~addr:(Addr.eth_host 2) in
+  (eng, a, b)
+
+(* {1 Kernel dispatch} *)
+
+let test_unregister_protocol_falls_through () =
+  (* With IP registered, the filter never sees IP frames; unregister and
+     they fall through to the packet filter. *)
+  let eng, a, b = dix_world () in
+  let _stack = Ipstack.attach b ~ip:(Ipv4.addr_of_string "10.0.0.2") in
+  let port = Pfdev.open_port (Host.pf b) in
+  (match Pfdev.set_filter port (Pf_filter.Predicates.ethertype_is Pf_net.Ethertype.ip) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "set_filter");
+  let ip_frame () =
+    Frame.encode Frame.Dix10 ~dst:(Host.addr b) ~src:(Host.addr a)
+      ~ethertype:Pf_net.Ethertype.ip
+      (Ipv4.encode
+         (Ipv4.v ~protocol:99 ~src:1l ~dst:(Ipv4.addr_of_string "10.0.0.2")
+            (Packet.of_string "x")))
+  in
+  let tx = Pfdev.open_port (Host.pf a) in
+  ignore (Host.spawn a ~name:"w1" (fun () -> Pfdev.write tx (ip_frame ())));
+  Engine.run eng;
+  Alcotest.(check int) "claimed by the kernel: port empty" 0 (Pfdev.poll port);
+  Host.unregister_protocol b ~ethertype:Pf_net.Ethertype.ip;
+  ignore (Host.spawn a ~name:"w2" (fun () -> Pfdev.write tx (ip_frame ())));
+  Engine.run eng;
+  Alcotest.(check int) "after unregister: filter sees it" 1 (Pfdev.poll port)
+
+let test_read_after_close () =
+  let eng, _, b = dix_world () in
+  let port = Pfdev.open_port (Host.pf b) in
+  (match Pfdev.set_filter port Pf_filter.Predicates.accept_all with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "set_filter");
+  Pfdev.close_port port;
+  let result = ref (Some ()) in
+  ignore
+    (Host.spawn b ~name:"reader" (fun () ->
+         result := Option.map (fun _ -> ()) (Pfdev.read port)));
+  Engine.run eng;
+  Alcotest.(check (option unit)) "read on closed port" None !result;
+  (* Double close is harmless. *)
+  Pfdev.close_port port
+
+(* {1 Socket-layer errors} *)
+
+let test_udp_port_in_use () =
+  let _, _, b = dix_world () in
+  let stack = Ipstack.attach b ~ip:(Ipv4.addr_of_string "10.0.0.2") in
+  let udp = Udp.create stack in
+  let _s = Udp.socket udp ~port:53 () in
+  Alcotest.check_raises "port in use" (Invalid_argument "Udp.socket: port 53 in use")
+    (fun () -> ignore (Udp.socket udp ~port:53 ()));
+  (* Ephemeral allocations are distinct. *)
+  let e1 = Udp.socket udp () and e2 = Udp.socket udp () in
+  Alcotest.(check bool) "distinct ephemeral ports" true (Udp.port e1 <> Udp.port e2)
+
+let test_tcp_listen_duplicate () =
+  let _, _, b = dix_world () in
+  let stack = Ipstack.attach b ~ip:(Ipv4.addr_of_string "10.0.0.2") in
+  let tcp = Tcp.create stack in
+  let _l = Tcp.listen tcp ~port:80 in
+  Alcotest.check_raises "listen twice" (Invalid_argument "Tcp.listen: port 80 in use")
+    (fun () -> ignore (Tcp.listen tcp ~port:80))
+
+let test_tcp_connect_refused () =
+  let eng, a, b = dix_world () in
+  let ip_a = Ipv4.addr_of_string "10.0.0.1" and ip_b = Ipv4.addr_of_string "10.0.0.2" in
+  let stack_a = Ipstack.attach a ~ip:ip_a in
+  let _stack_b = Ipstack.attach b ~ip:ip_b in
+  Ipstack.add_route stack_a ~ip:ip_b (Host.addr b);
+  let tcp_a = Tcp.create stack_a in
+  (* No Tcp.create on b at all: protocol 6 unreachable there. *)
+  let result = ref (Some ()) in
+  ignore
+    (Host.spawn a ~name:"client" (fun () ->
+         result := Option.map (fun _ -> ()) (Tcp.connect tcp_a ~dst:ip_b ~dst_port:80)));
+  Engine.run eng;
+  Alcotest.(check (option unit)) "connect fails" None !result
+
+(* {1 Codec edges} *)
+
+let test_ipv4_options_roundtrip () =
+  let packet =
+    {
+      (Ipv4.v ~protocol:17 ~src:1l ~dst:2l (Packet.of_string "payload")) with
+      Ipv4.options = Packet.of_string "\x01\x01\x01" (* 3 bytes: padded to 4 *);
+    }
+  in
+  match Ipv4.decode (Ipv4.encode packet) with
+  | Ok p ->
+    Alcotest.(check int) "ihl covers options" 4 (Packet.length p.Ipv4.options);
+    Alcotest.(check string) "payload survives options" "payload"
+      (Packet.to_string p.Ipv4.payload)
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Ipv4.pp_error e)
+
+let test_eftp_abort_received () =
+  let eng = Engine.create () in
+  let link = Pf_net.Link.create eng Frame.Exp3 ~rate_mbit:3. () in
+  let a = Host.create link ~name:"a" ~addr:(Addr.exp 1) in
+  let b = Host.create link ~name:"b" ~addr:(Addr.exp 2) in
+  let sock_a = Pup_socket.create a ~socket:0x20l in
+  let sock_b = Pup_socket.create b ~socket:0x21l in
+  let received = ref (Ok "unset") in
+  ignore (Host.spawn b ~name:"recv" (fun () -> received := Eftp.receive sock_b));
+  ignore
+    (Host.spawn a ~name:"aborter" (fun () ->
+         Pup_socket.send sock_a ~dst:(Pup.port ~host:2 0x21l) ~ptype:Eftp.t_abort ~id:0l
+           (Packet.of_string "disk on fire")));
+  Engine.run eng;
+  match !received with
+  | Error reason -> Alcotest.(check string) "abort reason" "disk on fire" reason
+  | Ok _ -> Alcotest.fail "expected abort"
+
+let test_parse_compile_rejects_huge_offset () =
+  match Pf_filter.Parse.compile "word[2000] == 1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "offset 2000 cannot be encoded"
+
+(* {1 Pipes} *)
+
+let test_pipe_read_timeout_and_closed_write () =
+  let eng, _, b = dix_world () in
+  let pipe = Pipe.create b in
+  let got = ref (Some (Packet.of_string "x")) in
+  ignore (Host.spawn b ~name:"reader" (fun () -> got := Pipe.read ~timeout:1_000 pipe));
+  Engine.run eng;
+  Alcotest.(check bool) "timed out" true (!got = None);
+  Pipe.close pipe;
+  let failed = ref false in
+  ignore
+    (Host.spawn b ~name:"writer" (fun () ->
+         try Pipe.write pipe (Packet.of_string "y")
+         with Failure _ -> failed := true));
+  Engine.run eng;
+  Alcotest.(check bool) "write to closed pipe fails" true !failed
+
+(* {1 Telnet over BSP too} *)
+
+let test_telnet_over_bsp () =
+  let eng = Engine.create () in
+  let link = Pf_net.Link.create eng Frame.Exp3 ~rate_mbit:3. () in
+  let a = Host.create link ~name:"a" ~addr:(Addr.exp 1) in
+  let b = Host.create link ~name:"b" ~addr:(Addr.exp 2) in
+  let sock_a = Pup_socket.create a ~socket:1l in
+  let sock_b = Pup_socket.create b ~socket:2l in
+  let displayed = ref 0 in
+  ignore
+    (Host.spawn b ~name:"server" (fun () ->
+         let conn = Bsp.accept sock_b () in
+         Telnet.run_server (Telnet.Bsp conn) ~chars:500 ~chunk:32));
+  ignore
+    (Host.spawn a ~name:"user" (fun () ->
+         match Bsp.connect sock_a ~peer:(Pup.port ~host:2 2l) () with
+         | Some conn -> displayed := Telnet.run_display (Telnet.Bsp conn) Telnet.terminal_9600
+         | None -> ()));
+  Engine.run eng;
+  Alcotest.(check int) "all characters" 500 !displayed
+
+let suite =
+  ( "misc",
+    [
+      Alcotest.test_case "unregister protocol" `Quick test_unregister_protocol_falls_through;
+      Alcotest.test_case "read after close" `Quick test_read_after_close;
+      Alcotest.test_case "udp port in use" `Quick test_udp_port_in_use;
+      Alcotest.test_case "tcp listen duplicate" `Quick test_tcp_listen_duplicate;
+      Alcotest.test_case "tcp connect refused" `Quick test_tcp_connect_refused;
+      Alcotest.test_case "ipv4 options roundtrip" `Quick test_ipv4_options_roundtrip;
+      Alcotest.test_case "eftp abort" `Quick test_eftp_abort_received;
+      Alcotest.test_case "parse rejects huge offsets" `Quick
+        test_parse_compile_rejects_huge_offset;
+      Alcotest.test_case "pipe timeout + closed write" `Quick
+        test_pipe_read_timeout_and_closed_write;
+      Alcotest.test_case "telnet over bsp" `Quick test_telnet_over_bsp;
+    ] )

@@ -1,0 +1,143 @@
+open Pf_monitor
+module Packet = Pf_pkt.Packet
+module Engine = Pf_sim.Engine
+module Host = Pf_kernel.Host
+module Addr = Pf_net.Addr
+module Frame = Pf_net.Frame
+open Pf_proto
+
+(* A 10Mb world with IP/UDP on two hosts and a third monitoring host. *)
+let monitored_world () =
+  let eng = Engine.create () in
+  let link = Pf_net.Link.create eng Frame.Dix10 ~rate_mbit:10. () in
+  let a = Host.create ~costs:Pf_sim.Costs.free link ~name:"a" ~addr:(Addr.eth_host 1) in
+  let b = Host.create ~costs:Pf_sim.Costs.free link ~name:"b" ~addr:(Addr.eth_host 2) in
+  let mon = Host.create ~costs:Pf_sim.Costs.free link ~name:"mon" ~addr:(Addr.eth_host 9) in
+  (eng, a, b, mon)
+
+let run_udp_chatter eng a b n =
+  let ip_a = Ipv4.addr_of_string "10.0.0.1" and ip_b = Ipv4.addr_of_string "10.0.0.2" in
+  let stack_a = Ipstack.attach a ~ip:ip_a and stack_b = Ipstack.attach b ~ip:ip_b in
+  let udp_a = Udp.create stack_a and udp_b = Udp.create stack_b in
+  let server = Udp.socket udp_b ~port:53 () in
+  let client = Udp.socket udp_a () in
+  ignore
+    (Host.spawn b ~name:"server" (fun () ->
+         let rec loop () =
+           match Udp.recv ~timeout:1_000_000 server with
+           | Some (src, port, data) ->
+             Udp.send server ~dst:src ~dst_port:port data;
+             loop ()
+           | None -> ()
+         in
+         loop ()));
+  ignore
+    (Host.spawn a ~name:"client" (fun () ->
+         for i = 1 to n do
+           Udp.send client ~dst:ip_b ~dst_port:53
+             (Packet.of_string (Printf.sprintf "q%d" i));
+           ignore (Udp.recv ~timeout:1_000_000 client)
+         done));
+  Engine.run ~until:10_000_000 eng
+
+let test_capture_sees_kernel_traffic () =
+  let eng, a, b, mon = monitored_world () in
+  let cap = Capture.start mon in
+  run_udp_chatter eng a b 3;
+  let trace = Capture.stop cap in
+  (* 3 queries + 3 replies + 1 ARP request (broadcast) + 1 ARP reply...
+     the ARP reply is unicast b->a, visible because the monitor NIC is
+     promiscuous. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 8 frames captured (%d)" (List.length trace))
+    true
+    (List.length trace >= 8);
+  (* Timestamps are monotone. *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a.Capture.timestamp <= b.Capture.timestamp && monotone rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "timestamps monotone" true (monotone trace)
+
+let test_capture_with_filter () =
+  let eng, a, b, mon = monitored_world () in
+  (* Only ARP traffic. *)
+  let cap =
+    Capture.start ~filter:(Pf_filter.Predicates.ethertype_is Pf_net.Ethertype.arp) mon
+  in
+  run_udp_chatter eng a b 3;
+  let trace = Capture.stop cap in
+  Alcotest.(check int) "exactly the two ARP frames" 2 (List.length trace);
+  List.iter
+    (fun r ->
+      Alcotest.(check string) "decoded as ARP" "ARP"
+        (Decode.protocol_name Frame.Dix10 r.Capture.frame))
+    trace
+
+let test_capture_does_not_steal () =
+  (* The monitored hosts' own traffic must be unaffected: echo still works
+     while the monitor captures everything (tap + copy-all). *)
+  let eng, a, b, mon = monitored_world () in
+  let _cap = Capture.start mon in
+  let ip_b = Ipv4.addr_of_string "10.0.0.2" in
+  let stack_a = Ipstack.attach a ~ip:(Ipv4.addr_of_string "10.0.0.1") in
+  let stack_b = Ipstack.attach b ~ip:ip_b in
+  let udp_a = Udp.create stack_a and udp_b = Udp.create stack_b in
+  let server = Udp.socket udp_b ~port:7 () in
+  let client = Udp.socket udp_a () in
+  let got = ref 0 in
+  ignore
+    (Host.spawn b ~name:"server" (fun () ->
+         match Udp.recv server with
+         | Some (src, port, data) -> Udp.send server ~dst:src ~dst_port:port data
+         | None -> ()));
+  ignore
+    (Host.spawn a ~name:"client" (fun () ->
+         Udp.send client ~dst:ip_b ~dst_port:7 (Packet.of_string "hi");
+         match Udp.recv ~timeout:1_000_000 client with
+         | Some _ -> incr got
+         | None -> ()));
+  Engine.run ~until:10_000_000 eng;
+  Alcotest.(check int) "echo unaffected by monitoring" 1 !got
+
+let test_decode_summaries () =
+  let udp_frame =
+    Frame.encode Frame.Dix10 ~dst:(Addr.eth_host 2) ~src:(Addr.eth_host 1)
+      ~ethertype:Pf_net.Ethertype.ip
+      (Ipv4.encode
+         (Ipv4.v ~protocol:Ipv4.proto_udp ~src:(Ipv4.addr_of_string "10.0.0.1")
+            ~dst:(Ipv4.addr_of_string "10.0.0.2")
+            (Packet.of_words [ 1234; 53; 8; 0 ])))
+  in
+  let s = Decode.summarize Frame.Dix10 udp_frame in
+  Alcotest.(check bool) ("mentions UDP ports: " ^ s) true
+    (Testutil.contains s "10.0.0.1.1234" && Testutil.contains s "10.0.0.2.53");
+  let pup_frame = Testutil.pup_frame () in
+  let s2 = Decode.summarize Frame.Exp3 pup_frame in
+  Alcotest.(check bool) ("decodes pup: " ^ s2) true (Testutil.contains s2 "PUP");
+  Alcotest.(check string) "garbage degrades gracefully" "truncated frame (3 bytes)"
+    (Decode.summarize Frame.Dix10 (Packet.of_string "xyz"))
+
+let test_traffic_aggregation () =
+  let t = Traffic.create Frame.Exp3 in
+  for i = 1 to 5 do
+    Traffic.add t (Testutil.pup_frame ~ptype:i ())
+  done;
+  Traffic.add t (Testutil.pup_frame ~etype:0x0800 ());
+  Alcotest.(check int) "packets" 6 (Traffic.packets t);
+  let protos = Traffic.by_protocol t in
+  Alcotest.(check bool) "pup counted" true
+    (List.exists (fun (name, (n, _)) -> Testutil.contains name "PUP" && n >= 1) protos);
+  let talkers = Traffic.by_talker t in
+  Alcotest.(check bool) "talker #2 dominates" true
+    (match talkers with (who, n) :: _ -> who = "#2" && n = 6 | [] -> false)
+
+let suite =
+  ( "monitor",
+    [
+      Alcotest.test_case "capture sees kernel traffic" `Quick test_capture_sees_kernel_traffic;
+      Alcotest.test_case "capture with filter" `Quick test_capture_with_filter;
+      Alcotest.test_case "monitoring does not steal" `Quick test_capture_does_not_steal;
+      Alcotest.test_case "decode summaries" `Quick test_decode_summaries;
+      Alcotest.test_case "traffic aggregation" `Quick test_traffic_aggregation;
+    ] )

@@ -1,0 +1,168 @@
+open Pf_net
+module Packet = Pf_pkt.Packet
+
+(* {1 Addresses} *)
+
+let test_addr () =
+  Alcotest.(check string) "exp" "#7" (Addr.to_string (Addr.exp 7));
+  Alcotest.(check string) "eth" "02:00:00:00:00:2a" (Addr.to_string (Addr.eth_host 42));
+  Alcotest.(check bool) "broadcast exp" true (Addr.is_broadcast Addr.broadcast_exp);
+  Alcotest.(check bool) "broadcast eth" true (Addr.is_broadcast Addr.broadcast_eth);
+  Alcotest.(check bool) "unicast not broadcast" false (Addr.is_broadcast (Addr.eth_host 1));
+  Alcotest.check_raises "bad exp" (Invalid_argument "Addr.exp: host number out of range")
+    (fun () -> ignore (Addr.exp 300));
+  Alcotest.check_raises "bad eth" (Invalid_argument "Addr.eth: want exactly 6 bytes")
+    (fun () -> ignore (Addr.eth "xyz"))
+
+(* {1 Frames} *)
+
+let test_frame_exp3 () =
+  let payload = Packet.of_string "hello" in
+  let f =
+    Frame.encode Frame.Exp3 ~dst:(Addr.exp 3) ~src:(Addr.exp 9) ~ethertype:2 payload
+  in
+  Alcotest.(check int) "4-byte header" (4 + 5) (Packet.length f);
+  Alcotest.(check int) "type is word 1" 2 (Packet.word f 1);
+  match Frame.decode Frame.Exp3 f with
+  | Some (h, p) ->
+    Alcotest.(check bool) "dst" true (Addr.equal h.Frame.dst (Addr.exp 3));
+    Alcotest.(check bool) "src" true (Addr.equal h.Frame.src (Addr.exp 9));
+    Alcotest.(check int) "ethertype" 2 h.Frame.ethertype;
+    Alcotest.(check string) "payload" "hello" (Packet.to_string p)
+  | None -> Alcotest.fail "decode failed"
+
+let test_frame_dix10 () =
+  let payload = Packet.of_string "data" in
+  let f =
+    Frame.encode Frame.Dix10 ~dst:(Addr.eth_host 1) ~src:(Addr.eth_host 2)
+      ~ethertype:0x0800 payload
+  in
+  Alcotest.(check int) "14-byte header" 18 (Packet.length f);
+  Alcotest.(check int) "type is word 6" 0x0800 (Packet.word f 6);
+  match Frame.decode Frame.Dix10 f with
+  | Some (h, p) ->
+    Alcotest.(check bool) "dst" true (Addr.equal h.Frame.dst (Addr.eth_host 1));
+    Alcotest.(check string) "payload" "data" (Packet.to_string p)
+  | None -> Alcotest.fail "decode failed"
+
+let test_frame_family_mismatch () =
+  Alcotest.check_raises "exp addr on 10Mb"
+    (Invalid_argument "Frame.encode: address family does not match link variant")
+    (fun () ->
+      ignore
+        (Frame.encode Frame.Dix10 ~dst:(Addr.exp 1) ~src:(Addr.exp 2) ~ethertype:0
+           (Packet.of_string "")))
+
+let test_frame_mtu () =
+  Alcotest.check_raises "oversized payload"
+    (Invalid_argument "Frame.encode: payload exceeds MTU") (fun () ->
+      ignore
+        (Frame.encode Frame.Exp3 ~dst:(Addr.exp 1) ~src:(Addr.exp 2) ~ethertype:2
+           (Packet.of_string (String.make 600 'x'))))
+
+let test_frame_truncated () =
+  Alcotest.(check bool) "short frame undecodable" true
+    (Frame.decode Frame.Dix10 (Packet.of_string "short") = None)
+
+(* {1 Links and NICs} *)
+
+let mk_pair ?(rate = 10.) variant =
+  let eng = Pf_sim.Engine.create () in
+  let link = Link.create eng variant ~rate_mbit:rate () in
+  let a_addr, b_addr =
+    match variant with
+    | Frame.Exp3 -> (Addr.exp 1, Addr.exp 2)
+    | Frame.Dix10 -> (Addr.eth_host 1, Addr.eth_host 2)
+  in
+  let a = Nic.create link ~addr:a_addr in
+  let b = Nic.create link ~addr:b_addr in
+  (eng, link, a, b)
+
+let test_link_delivery () =
+  let eng, _link, a, b = mk_pair Frame.Dix10 in
+  let got = ref [] in
+  Nic.set_rx b (fun f -> got := f :: !got);
+  Nic.set_rx a (fun _ -> Alcotest.fail "sender must not hear its own frame");
+  Nic.send a ~dst:(Nic.addr b) ~ethertype:0x0800 (Packet.of_string "ping");
+  Pf_sim.Engine.run eng;
+  Alcotest.(check int) "one frame" 1 (List.length !got);
+  Alcotest.(check int) "counted" 1 (Nic.frames_received b)
+
+let test_link_addressing () =
+  let eng, link, a, b = mk_pair Frame.Dix10 in
+  let c = Nic.create link ~addr:(Addr.eth_host 3) in
+  let b_got = ref 0 and c_got = ref 0 in
+  Nic.set_rx b (fun _ -> incr b_got);
+  Nic.set_rx c (fun _ -> incr c_got);
+  Nic.send a ~dst:(Nic.addr b) ~ethertype:1 (Packet.of_string "x");
+  Pf_sim.Engine.run eng;
+  Alcotest.(check int) "b hears" 1 !b_got;
+  Alcotest.(check int) "c filtered out" 0 !c_got;
+  (* Broadcast reaches both. *)
+  Nic.send a ~dst:Addr.broadcast_eth ~ethertype:1 (Packet.of_string "y");
+  Pf_sim.Engine.run eng;
+  Alcotest.(check int) "b hears broadcast" 2 !b_got;
+  Alcotest.(check int) "c hears broadcast" 1 !c_got;
+  (* Promiscuous c hears unicast for b. *)
+  Nic.set_promiscuous c true;
+  Nic.send a ~dst:(Nic.addr b) ~ethertype:1 (Packet.of_string "z");
+  Pf_sim.Engine.run eng;
+  Alcotest.(check int) "promiscuous sees all" 2 !c_got
+
+let test_link_serialization_rate () =
+  (* 1500 bytes at 10 Mbit/s = 1200 us; at 3 Mbit/s = 4000 us. *)
+  let eng10, link10, a10, b10 = mk_pair Frame.Dix10 in
+  Alcotest.(check int) "10Mb serialization" 1200 (Link.serialization_time link10 ~bytes:1500);
+  let arrival = ref 0 in
+  Nic.set_rx b10 (fun _ -> arrival := Pf_sim.Engine.now eng10);
+  Nic.send a10 ~dst:(Nic.addr b10) ~ethertype:1 (Packet.of_string (String.make 1486 'x'));
+  Pf_sim.Engine.run eng10;
+  Alcotest.(check int) "arrives after ser+latency" 1250 !arrival;
+  let _, link3, _, _ = mk_pair ~rate:3. Frame.Exp3 in
+  Alcotest.(check int) "3Mb serialization" 4000 (Link.serialization_time link3 ~bytes:1500)
+
+let test_link_busy_queues () =
+  (* Two back-to-back sends serialize on the medium. *)
+  let eng, link, a, b = mk_pair Frame.Dix10 in
+  let arrivals = ref [] in
+  Nic.set_rx b (fun _ -> arrivals := Pf_sim.Engine.now eng :: !arrivals);
+  let payload = Packet.of_string (String.make 986 'x') in
+  (* 1000-byte frames: 800us each on the wire *)
+  Nic.send a ~dst:(Nic.addr b) ~ethertype:1 payload;
+  Nic.send a ~dst:(Nic.addr b) ~ethertype:1 payload;
+  Pf_sim.Engine.run eng;
+  (match List.rev !arrivals with
+  | [ t1; t2 ] ->
+    Alcotest.(check int) "first at ser+latency" 850 t1;
+    Alcotest.(check int) "second queued behind" 1650 t2
+  | _ -> Alcotest.fail "expected two arrivals");
+  Alcotest.(check int) "frames carried" 2 (Link.frames_carried link);
+  Alcotest.(check int) "bytes carried" 2000 (Link.bytes_carried link)
+
+let test_nic_drop_without_handler () =
+  let eng, _link, a, b = mk_pair Frame.Dix10 in
+  Nic.send a ~dst:(Nic.addr b) ~ethertype:1 (Packet.of_string "lost");
+  Pf_sim.Engine.run eng;
+  Alcotest.(check int) "dropped" 1 (Nic.frames_dropped b)
+
+let test_ethertype_names () =
+  Alcotest.(check string) "ip" "IP" (Ethertype.name Ethertype.ip);
+  Alcotest.(check string) "rarp" "RARP" (Ethertype.name Ethertype.rarp);
+  Alcotest.(check string) "unknown" "0x1234" (Ethertype.name 0x1234)
+
+let suite =
+  ( "net",
+    [
+      Alcotest.test_case "addresses" `Quick test_addr;
+      Alcotest.test_case "frame exp3" `Quick test_frame_exp3;
+      Alcotest.test_case "frame dix10" `Quick test_frame_dix10;
+      Alcotest.test_case "frame family mismatch" `Quick test_frame_family_mismatch;
+      Alcotest.test_case "frame mtu" `Quick test_frame_mtu;
+      Alcotest.test_case "frame truncated" `Quick test_frame_truncated;
+      Alcotest.test_case "link delivery" `Quick test_link_delivery;
+      Alcotest.test_case "link addressing" `Quick test_link_addressing;
+      Alcotest.test_case "serialization rate" `Quick test_link_serialization_rate;
+      Alcotest.test_case "link busy queues" `Quick test_link_busy_queues;
+      Alcotest.test_case "nic drops unhandled" `Quick test_nic_drop_without_handler;
+      Alcotest.test_case "ethertype names" `Quick test_ethertype_names;
+    ] )

@@ -1,0 +1,95 @@
+open Pf_pkt
+
+let test_of_words_roundtrip () =
+  let p = Packet.of_words [ 0x1234; 0xffff; 0x0001 ] in
+  Alcotest.(check int) "length" 6 (Packet.length p);
+  Alcotest.(check int) "word 0" 0x1234 (Packet.word p 0);
+  Alcotest.(check int) "word 1" 0xffff (Packet.word p 1);
+  Alcotest.(check int) "word 2" 0x0001 (Packet.word p 2);
+  Alcotest.(check int) "byte 0" 0x12 (Packet.byte p 0);
+  Alcotest.(check int) "byte 1" 0x34 (Packet.byte p 1)
+
+let test_word_masking () =
+  let p = Packet.of_words [ 0x1_ffff ] in
+  Alcotest.(check int) "masked to 16 bits" 0xffff (Packet.word p 0)
+
+let test_bounds () =
+  let p = Packet.of_string "abc" in
+  Alcotest.(check int) "word_count drops odd byte" 1 (Packet.word_count p);
+  Alcotest.(check (option int)) "word 1 out of range" None (Packet.word_opt p 1);
+  Alcotest.(check (option int)) "byte 2 ok" (Some (Char.code 'c')) (Packet.byte_opt p 2);
+  Alcotest.(check (option int)) "byte 3 out" None (Packet.byte_opt p 3);
+  Alcotest.check_raises "word raises" (Invalid_argument "Packet.word: index out of bounds")
+    (fun () -> ignore (Packet.word p 1))
+
+let test_sub_concat () =
+  let p = Packet.of_string "hello world" in
+  let a = Packet.sub p ~pos:0 ~len:5 in
+  let b = Packet.sub p ~pos:5 ~len:6 in
+  Alcotest.(check string) "sub" "hello" (Packet.to_string a);
+  Alcotest.(check bool) "concat" true (Packet.equal p (Packet.concat [ a; b ]));
+  Alcotest.(check bool) "append" true (Packet.equal p (Packet.append a b))
+
+let test_word32 () =
+  let p = Packet.of_words [ 0xdead; 0xbeef ] in
+  Alcotest.(check int32) "word32" 0xdeadbeefl (Packet.word32 p 0)
+
+let test_builder () =
+  let b = Builder.create () in
+  Builder.add_byte b 0xab;
+  Builder.add_byte b 0xcd;
+  Builder.add_word b 0x1234;
+  Builder.add_word32 b 0x01020304l;
+  Builder.add_string b "xy";
+  Alcotest.(check int) "length" 10 (Builder.length b);
+  Builder.patch_word b ~pos:2 0x9999;
+  let p = Builder.to_packet b in
+  Alcotest.(check int) "patched" 0x9999 (Packet.word p 1);
+  Alcotest.(check int) "byte 0" 0xab (Packet.byte p 0);
+  Alcotest.(check int) "last byte" (Char.code 'y') (Packet.byte p 9)
+
+let test_builder_patch_bounds () =
+  let b = Builder.create () in
+  Builder.add_word b 0;
+  Alcotest.check_raises "patch past end"
+    (Invalid_argument "Builder.patch_word: offset out of bounds") (fun () ->
+      Builder.patch_word b ~pos:1 0)
+
+let test_hexdump () =
+  let p = Packet.of_string "ABCDEFGHIJKLMNOPQ" in
+  let s = Format.asprintf "%a" Packet.pp_hex p in
+  Alcotest.(check bool) "has ascii gutter" true
+    (Testutil.contains s "|ABCDEFGH");
+  Alcotest.(check bool) "two rows" true (String.contains s '\n')
+
+let prop_word_byte_agree =
+  QCheck.Test.make ~name:"word i = byte 2i << 8 | byte 2i+1" ~count:200
+    QCheck.(pair (list (int_bound 255)) small_nat)
+    (fun (bytes, i) ->
+      let bytes = if List.length bytes land 1 = 1 then 0 :: bytes else bytes in
+      let p = Packet.of_bytes (Bytes.of_string (String.concat "" (List.map (fun b -> String.make 1 (Char.chr b)) bytes))) in
+      QCheck.assume (i < Packet.word_count p);
+      Packet.word p i = (Packet.byte p (2 * i) lsl 8) lor Packet.byte p ((2 * i) + 1))
+
+let prop_of_words_word =
+  QCheck.Test.make ~name:"of_words then word is identity (mod 2^16)" ~count:200
+    QCheck.(list int)
+    (fun ws ->
+      let p = Packet.of_words ws in
+      List.for_all2 (fun w i -> Packet.word p i = w land 0xffff) ws
+        (List.init (List.length ws) Fun.id))
+
+let suite =
+  ( "packet",
+    [
+      Alcotest.test_case "of_words roundtrip" `Quick test_of_words_roundtrip;
+      Alcotest.test_case "word masking" `Quick test_word_masking;
+      Alcotest.test_case "bounds" `Quick test_bounds;
+      Alcotest.test_case "sub/concat/append" `Quick test_sub_concat;
+      Alcotest.test_case "word32" `Quick test_word32;
+      Alcotest.test_case "builder" `Quick test_builder;
+      Alcotest.test_case "builder patch bounds" `Quick test_builder_patch_bounds;
+      Alcotest.test_case "hexdump" `Quick test_hexdump;
+      QCheck_alcotest.to_alcotest prop_word_byte_agree;
+      QCheck_alcotest.to_alcotest prop_of_words_word;
+    ] )

@@ -1,0 +1,147 @@
+(* The expression-syntax front end. *)
+
+open Pf_filter
+module Packet = Pf_pkt.Packet
+
+let parse_exn ?variant s =
+  match Parse.parse ?variant s with
+  | Ok e -> e
+  | Error e -> Alcotest.fail (s ^ ": " ^ e)
+
+let compile_exn ?variant s =
+  match Parse.compile ?variant s with
+  | Ok p -> p
+  | Error e -> Alcotest.fail (s ^ ": " ^ e)
+
+let test_fig_3_9_syntax () =
+  let p = compile_exn "pup.dstsocket.lo == 35 && pup.dstsocket.hi == 0 && ether.type == 2" in
+  List.iter
+    (fun (frame, expected) ->
+      Alcotest.(check bool) "matches hand-written behavior" expected (Interp.accepts p frame))
+    [
+      (Testutil.pup_frame ~dst_socket:35l (), true);
+      (Testutil.pup_frame ~dst_socket:36l (), false);
+      (Testutil.pup_frame ~dst_socket:35l ~etype:9 (), false);
+    ];
+  (* And it short-circuits just like figure 3-9. *)
+  Alcotest.(check int) "mismatch exits after 2 insns" 2
+    (Interp.run p (Testutil.pup_frame ~dst_socket:36l ())).Interp.insns_executed
+
+let test_fig_3_8_syntax () =
+  let p = compile_exn "ether.type == 2 && pup.type > 0 && pup.type <= 100" in
+  List.iter
+    (fun (ptype, etype, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "type %d/%d" ptype etype)
+        expected
+        (Interp.accepts p (Testutil.pup_frame ~ptype ~etype ())))
+    [ (1, 2, true); (100, 2, true); (0, 2, false); (101, 2, false); (50, 3, false) ]
+
+let test_numbers_and_hex () =
+  let e = parse_exn "word[6] == 0x0800" in
+  Alcotest.(check bool) "hex parsed" true
+    (Expr.equal e (Expr.Bin (Expr.Eq, Expr.Word 6, Expr.Lit 0x0800)))
+
+let test_operator_precedence () =
+  (* & binds tighter than ==; arithmetic tighter than &. *)
+  let e = parse_exn "word[3] & 0x00ff == 16" in
+  (match e with
+  | Expr.Bin (Expr.Eq, Expr.Bin (Expr.Band, _, _), Expr.Lit 16) -> ()
+  | _ -> Alcotest.fail (Format.asprintf "unexpected tree %a" Expr.pp e));
+  let e2 = parse_exn "1 + 2 * 3 == 7" in
+  Alcotest.(check bool) "arith precedence" true
+    (Expr.matches e2 (Packet.of_string ""));
+  (* Left associativity of subtraction. *)
+  let e3 = parse_exn "10 - 3 - 2 == 5" in
+  Alcotest.(check bool) "left assoc" true (Expr.matches e3 (Packet.of_string ""))
+
+let test_logical_structure () =
+  let e = parse_exn "1 == 1 && 2 == 2 && 3 == 3" in
+  (match e with
+  | Expr.All [ _; _; _ ] -> ()
+  | _ -> Alcotest.fail "expected flattened 3-way All");
+  let e2 = parse_exn "1 == 2 || 2 == 3 || 3 == 3" in
+  match e2 with
+  | Expr.Any [ _; _; _ ] -> Alcotest.(check bool) "or value" true (Expr.matches e2 (Packet.of_string ""))
+  | _ -> Alcotest.fail "expected flattened 3-way Any"
+
+let test_not () =
+  let e = parse_exn "!(ether.type == 2)" in
+  Alcotest.(check bool) "not pup" false (Expr.matches e (Testutil.pup_frame ()));
+  Alcotest.(check bool) "not other" true (Expr.matches e (Testutil.pup_frame ~etype:3 ()))
+
+let test_dynamic_index_uses_ind () =
+  let e = parse_exn "word[word[0]] == 9" in
+  (match e with
+  | Expr.Bin (Expr.Eq, Expr.Ind (Expr.Word 0), Expr.Lit 9) -> ()
+  | _ -> Alcotest.fail (Format.asprintf "expected Ind, got %a" Expr.pp e));
+  (* Constant arithmetic in the index stays a plain word reference. *)
+  match parse_exn "word[1 + 2] == 5" with
+  | Expr.Bin (Expr.Eq, Expr.Word 3, Expr.Lit 5) -> ()
+  | e -> Alcotest.fail (Format.asprintf "expected word[3], got %a" Expr.pp e)
+
+let test_dix10_fields () =
+  let p = compile_exn ~variant:`Dix10 "ether.type == 0x0800 && ip.proto == 17 && udp.dstport == 53" in
+  Alcotest.(check bool) "same verdicts as the canned predicate" true
+    (let frame socket = Testutil.ip_udp_frame ~dst_port:socket in
+     Interp.accepts p (frame 53) && not (Interp.accepts p (frame 54)))
+
+let test_errors () =
+  let bad s =
+    match Parse.parse s with
+    | Error _ -> ()
+    | Ok e -> Alcotest.fail (Format.asprintf "%s parsed as %a" s Expr.pp e)
+  in
+  bad "pup.nosuchfield == 1";
+  bad "word[1] ==";
+  bad "word[1 == 2";
+  bad "((word[0]) == 1))";
+  bad "1 @ 2";
+  bad "0xzz == 1"
+
+let test_fields_listing () =
+  let fields = Parse.fields `Exp3 in
+  Alcotest.(check bool) "has pup.dstsocket.lo" true
+    (List.mem_assoc "pup.dstsocket.lo" fields);
+  Alcotest.(check bool) "dix has udp.dstport" true
+    (List.mem_assoc "udp.dstport" (Parse.fields `Dix10))
+
+(* Parsed expressions behave identically through every evaluator. *)
+let prop_parse_compile_consistent =
+  QCheck.Test.make ~name:"parsed expr: eval = compiled" ~count:200
+    QCheck.(
+      make
+        Gen.(
+          let* socket = int_bound 100 in
+          let* etype = int_bound 10 in
+          return (socket, etype)))
+    (fun (socket, etype) ->
+      let source =
+        Printf.sprintf "pup.dstsocket.lo == %d && ether.type == %d" socket etype
+      in
+      match Parse.parse source with
+      | Error _ -> false
+      | Ok e ->
+        let p = Expr.compile e in
+        let frames =
+          [ Testutil.pup_frame ~dst_socket:(Int32.of_int socket) ~etype ();
+            Testutil.pup_frame ~dst_socket:(Int32.of_int (socket + 1)) ~etype ();
+            Testutil.pup_frame ~dst_socket:(Int32.of_int socket) ~etype:(etype + 1) () ]
+        in
+        List.for_all (fun f -> Expr.matches e f = Interp.accepts p f) frames)
+
+let suite =
+  ( "parse",
+    [
+      Alcotest.test_case "figure 3-9 in concrete syntax" `Quick test_fig_3_9_syntax;
+      Alcotest.test_case "figure 3-8 in concrete syntax" `Quick test_fig_3_8_syntax;
+      Alcotest.test_case "hex numbers" `Quick test_numbers_and_hex;
+      Alcotest.test_case "precedence" `Quick test_operator_precedence;
+      Alcotest.test_case "logical flattening" `Quick test_logical_structure;
+      Alcotest.test_case "negation" `Quick test_not;
+      Alcotest.test_case "dynamic index -> indirect push" `Quick test_dynamic_index_uses_ind;
+      Alcotest.test_case "dix10 field names" `Quick test_dix10_fields;
+      Alcotest.test_case "parse errors" `Quick test_errors;
+      Alcotest.test_case "fields listing" `Quick test_fields_listing;
+      QCheck_alcotest.to_alcotest prop_parse_compile_consistent;
+    ] )

@@ -1,0 +1,588 @@
+open Pf_proto
+module Packet = Pf_pkt.Packet
+module Engine = Pf_sim.Engine
+module Process = Pf_sim.Process
+module Host = Pf_kernel.Host
+module Addr = Pf_net.Addr
+module Frame = Pf_net.Frame
+
+let exp3_world ?(costs = Pf_sim.Costs.free) () =
+  let eng = Engine.create () in
+  let link = Pf_net.Link.create eng Frame.Exp3 ~rate_mbit:3. () in
+  let a = Host.create ~costs link ~name:"a" ~addr:(Addr.exp 1) in
+  let b = Host.create ~costs link ~name:"b" ~addr:(Addr.exp 2) in
+  (eng, a, b)
+
+let dix_world ?(costs = Pf_sim.Costs.free) () =
+  let eng = Engine.create () in
+  let link = Pf_net.Link.create eng Frame.Dix10 ~rate_mbit:10. () in
+  let a = Host.create ~costs link ~name:"a" ~addr:(Addr.eth_host 1) in
+  let b = Host.create ~costs link ~name:"b" ~addr:(Addr.eth_host 2) in
+  (eng, a, b)
+
+(* {1 Pup codec} *)
+
+let sample_pup ?(data = "payload") () =
+  Pup.v ~transport_control:0 ~ptype:16 ~id:77l
+    ~dst:(Pup.port ~net:1 ~host:2 35l)
+    ~src:(Pup.port ~host:1 99l)
+    (Packet.of_string data)
+
+let test_pup_roundtrip () =
+  let pup = sample_pup () in
+  match Pup.decode (Pup.encode pup) with
+  | Ok p ->
+    Alcotest.(check int) "ptype" 16 p.Pup.ptype;
+    Alcotest.(check int32) "id" 77l p.Pup.id;
+    Alcotest.(check int32) "dst socket" 35l p.Pup.dst.Pup.socket;
+    Alcotest.(check int) "dst net" 1 p.Pup.dst.Pup.net;
+    Alcotest.(check string) "data" "payload" (Packet.to_string p.Pup.data)
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Pup.pp_error e)
+
+let test_pup_odd_length_pads () =
+  let pup = sample_pup ~data:"odd" () in
+  let wire = Pup.encode pup in
+  Alcotest.(check int) "padded to even" 0 (Packet.length wire mod 2);
+  match Pup.decode wire with
+  | Ok p -> Alcotest.(check string) "data preserved" "odd" (Packet.to_string p.Pup.data)
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Pup.pp_error e)
+
+let test_pup_checksum_detects_corruption () =
+  let wire = Pup.encode (sample_pup ()) in
+  let corrupt = Packet.to_bytes wire in
+  Bytes.set_uint8 corrupt 21 (Bytes.get_uint8 corrupt 21 lxor 0x40);
+  match Pup.decode (Packet.of_bytes corrupt) with
+  | Error (Pup.Bad_checksum _) -> ()
+  | Ok _ -> Alcotest.fail "corruption not detected"
+  | Error e -> Alcotest.fail (Format.asprintf "wrong error: %a" Pup.pp_error e)
+
+let test_pup_no_checksum_passes () =
+  let wire = Pup.encode ~checksum:false (sample_pup ()) in
+  let trailer = (Packet.length wire / 2) - 1 in
+  Alcotest.(check int) "all-ones trailer" 0xffff (Packet.word wire trailer);
+  Alcotest.(check bool) "decodes" true (Result.is_ok (Pup.decode wire))
+
+let test_pup_figure_3_7_offsets () =
+  (* Once framed on the 3Mb net, the figure 3-7 word offsets must hold:
+     that is what figures 3-8/3-9 filter on. *)
+  let wire = Pup.encode (sample_pup ()) in
+  let frame =
+    Frame.encode Frame.Exp3 ~dst:(Addr.exp 2) ~src:(Addr.exp 1)
+      ~ethertype:Pf_net.Ethertype.pup_exp3 wire
+  in
+  Alcotest.(check int) "word 1 = type (PUP=2)" 2 (Packet.word frame 1);
+  Alcotest.(check int) "word 3 low byte = PupType" 16 (Packet.word frame 3 land 0xff);
+  Alcotest.(check int) "word 7 = DstSocket high" 0 (Packet.word frame 7);
+  Alcotest.(check int) "word 8 = DstSocket low" 35 (Packet.word frame 8);
+  Alcotest.(check bool) "fig 3-9 style filter accepts it" true
+    (Pf_filter.Interp.accepts (Pf_filter.Predicates.pup_dst_socket 35l) frame)
+
+let prop_pup_roundtrip =
+  QCheck.Test.make ~name:"pup encode/decode roundtrip" ~count:300
+    QCheck.(
+      make
+        Gen.(
+          let* tc = int_bound 255 in
+          let* ptype = int_bound 255 in
+          let* id = int_bound 0xFFFF in
+          let* host = int_bound 255 in
+          let* socket = int_bound 0xFFFF in
+          let* data = string_size ~gen:printable (int_bound 532) in
+          return (tc, ptype, id, host, socket, data)))
+    (fun (tc, ptype, id, host, socket, data) ->
+      let pup =
+        Pup.v ~transport_control:tc ~ptype ~id:(Int32.of_int id)
+          ~dst:(Pup.port ~host (Int32.of_int socket))
+          ~src:(Pup.port ~host:1 1l)
+          (Packet.of_string data)
+      in
+      match Pup.decode (Pup.encode pup) with
+      | Ok p ->
+        p.Pup.transport_control = tc && p.Pup.ptype = ptype
+        && p.Pup.id = Int32.of_int id
+        && p.Pup.dst.Pup.socket = Int32.of_int socket
+        && Packet.to_string p.Pup.data = data
+      | Error _ -> false)
+
+(* {1 Pup sockets over the packet filter} *)
+
+let test_pup_socket_exchange () =
+  let eng, a, b = exp3_world () in
+  let sock_a = Pup_socket.create a ~socket:10l in
+  let sock_b = Pup_socket.create b ~socket:20l in
+  let got = ref None in
+  ignore
+    (Host.spawn b ~name:"server" (fun () ->
+         match Pup_socket.recv sock_b with
+         | Some pup ->
+           got := Some pup;
+           (* reply to the source port *)
+           Pup_socket.send sock_b ~dst:pup.Pup.src ~ptype:2 ~id:pup.Pup.id
+             (Packet.of_string "pong")
+         | None -> ()));
+  let reply = ref None in
+  ignore
+    (Host.spawn a ~name:"client" (fun () ->
+         Pup_socket.send sock_a
+           ~dst:(Pup.port ~host:2 20l)
+           ~ptype:1 ~id:42l (Packet.of_string "ping");
+         reply := Pup_socket.recv ~timeout:1_000_000 sock_a));
+  Engine.run eng;
+  (match !got with
+  | Some pup ->
+    Alcotest.(check string) "request data" "ping" (Packet.to_string pup.Pup.data);
+    Alcotest.(check int32) "src socket" 10l pup.Pup.src.Pup.socket
+  | None -> Alcotest.fail "server got nothing");
+  match !reply with
+  | Some pup ->
+    Alcotest.(check string) "reply data" "pong" (Packet.to_string pup.Pup.data);
+    Alcotest.(check int32) "id echoed" 42l pup.Pup.id
+  | None -> Alcotest.fail "client got no reply"
+
+let test_pup_socket_filters_other_sockets () =
+  let eng, a, b = exp3_world () in
+  let _sock_b20 = Pup_socket.create b ~socket:20l in
+  let sock_b21 = Pup_socket.create b ~socket:21l in
+  let sock_a = Pup_socket.create a ~socket:10l in
+  let got21 = ref 0 in
+  ignore
+    (Host.spawn b ~name:"s21" (fun () ->
+         match Pup_socket.recv ~timeout:100_000 sock_b21 with
+         | Some _ -> incr got21
+         | None -> ()));
+  ignore
+    (Host.spawn a ~name:"client" (fun () ->
+         Pup_socket.send sock_a ~dst:(Pup.port ~host:2 20l) ~ptype:1 ~id:1l
+           (Packet.of_string "for-20")));
+  Engine.run eng;
+  Alcotest.(check int) "socket 21 heard nothing" 0 !got21
+
+(* {1 BSP} *)
+
+let bsp_transfer ?(window = 1) ~size () =
+  let eng, a, b = exp3_world () in
+  let sock_a = Pup_socket.create a ~socket:100l in
+  let sock_b = Pup_socket.create b ~socket:200l in
+  let sent = String.init size (fun i -> Char.chr (33 + (i mod 90))) in
+  let received = Buffer.create size in
+  let server_done = ref false in
+  ignore
+    (Host.spawn b ~name:"bsp-server" (fun () ->
+         let conn = Bsp.accept ~window sock_b () in
+         let rec drain () =
+           match Bsp.recv conn with
+           | Some chunk ->
+             Buffer.add_string received chunk;
+             drain ()
+           | None -> server_done := true
+         in
+         drain ()));
+  ignore
+    (Host.spawn a ~name:"bsp-client" (fun () ->
+         match Bsp.connect sock_a ~peer:(Pup.port ~host:2 200l) ~window () with
+         | Some conn ->
+           Bsp.send conn sent;
+           Bsp.close conn
+         | None -> Alcotest.fail "connect failed"));
+  Engine.run eng;
+  (sent, Buffer.contents received, !server_done)
+
+let test_bsp_small_transfer () =
+  let sent, received, closed = bsp_transfer ~size:100 () in
+  Alcotest.(check string) "bytes intact" sent received;
+  Alcotest.(check bool) "close seen" true closed
+
+let test_bsp_bulk_transfer () =
+  let sent, received, _ = bsp_transfer ~size:20_000 () in
+  Alcotest.(check int) "length" (String.length sent) (String.length received);
+  Alcotest.(check string) "bytes intact in order" sent received
+
+let test_bsp_windowed_transfer () =
+  let sent, received, _ = bsp_transfer ~window:4 ~size:20_000 () in
+  Alcotest.(check string) "windowed transfer intact" sent received
+
+let test_bsp_retransmission_on_overflow () =
+  (* Shrink the server's packet filter queue so the burst overflows and
+     go-back-N has to recover the lost packets. Realistic CPU costs make the
+     reader slow enough that the sender's window-6 burst overruns it. *)
+  let eng, a, b = exp3_world ~costs:Pf_sim.Costs.microvax_ii () in
+  let sock_a = Pup_socket.create a ~socket:100l in
+  let sock_b = Pup_socket.create b ~socket:200l in
+  Pf_kernel.Pfdev.set_queue_limit (Pup_socket.port sock_b) 1;
+  let sent = String.init 8_000 (fun i -> Char.chr (33 + (i mod 90))) in
+  let received = Buffer.create 8_000 in
+  ignore
+    (Host.spawn b ~name:"server" (fun () ->
+         let conn = Bsp.accept ~window:6 ~rto:50_000 sock_b () in
+         let rec drain () =
+           match Bsp.recv conn with
+           | Some chunk ->
+             Buffer.add_string received chunk;
+             drain ()
+           | None -> ()
+         in
+         drain ()));
+  let retrans = ref 0 in
+  ignore
+    (Host.spawn a ~name:"client" (fun () ->
+         match Bsp.connect sock_a ~peer:(Pup.port ~host:2 200l) ~window:6 ~rto:50_000 () with
+         | Some conn ->
+           Bsp.send conn sent;
+           Bsp.close conn;
+           retrans := Bsp.retransmissions conn
+         | None -> Alcotest.fail "connect failed"));
+  Engine.run eng;
+  Alcotest.(check string) "recovered all data in order" sent (Buffer.contents received);
+  Alcotest.(check bool) "retransmissions happened" true (!retrans > 0)
+
+(* {1 IPv4 / ARP codecs} *)
+
+let test_ipv4_roundtrip () =
+  let packet =
+    Ipv4.v ~ttl:17 ~protocol:17 ~src:(Ipv4.addr_of_string "10.0.0.1")
+      ~dst:(Ipv4.addr_of_string "10.0.0.2")
+      (Packet.of_string "datagram")
+  in
+  match Ipv4.decode (Ipv4.encode packet) with
+  | Ok p ->
+    Alcotest.(check int) "ttl" 17 p.Ipv4.ttl;
+    Alcotest.(check string) "src" "10.0.0.1" (Ipv4.string_of_addr p.Ipv4.src);
+    Alcotest.(check string) "payload" "datagram" (Packet.to_string p.Ipv4.payload)
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Ipv4.pp_error e)
+
+let test_ipv4_checksum_detects_corruption () =
+  let wire =
+    Ipv4.encode
+      (Ipv4.v ~protocol:6 ~src:1l ~dst:2l (Packet.of_string "x"))
+  in
+  let bytes = Packet.to_bytes wire in
+  Bytes.set_uint8 bytes 8 99;
+  (* ttl *)
+  match Ipv4.decode (Packet.of_bytes bytes) with
+  | Error Ipv4.Bad_checksum -> ()
+  | Ok _ -> Alcotest.fail "corruption not detected"
+  | Error e -> Alcotest.fail (Format.asprintf "wrong error %a" Ipv4.pp_error e)
+
+let test_ipv4_addr_strings () =
+  Alcotest.(check string) "roundtrip" "192.168.1.200"
+    (Ipv4.string_of_addr (Ipv4.addr_of_string "192.168.1.200"));
+  Alcotest.check_raises "bad addr" (Invalid_argument "Ipv4.addr_of_string: \"1.2.3\"")
+    (fun () -> ignore (Ipv4.addr_of_string "1.2.3"))
+
+let test_arp_roundtrip () =
+  let body =
+    Arp.v ~oper:Arp.rarp_reply ~sha:"\x02\x00\x00\x00\x00\x01" ~spa:11l
+      ~tha:"\x02\x00\x00\x00\x00\x02" ~tpa:22l
+  in
+  match Arp.decode (Arp.encode body) with
+  | Ok a ->
+    Alcotest.(check int) "oper" 4 a.Arp.oper;
+    Alcotest.(check int32) "tpa" 22l a.Arp.tpa;
+    Alcotest.(check string) "tha" "\x02\x00\x00\x00\x00\x02" a.Arp.tha
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Arp.pp_error e)
+
+(* {1 UDP over the kernel stack (with real ARP resolution)} *)
+
+let test_udp_end_to_end () =
+  let eng, a, b = dix_world () in
+  let ip_a = Ipv4.addr_of_string "10.0.0.1" and ip_b = Ipv4.addr_of_string "10.0.0.2" in
+  let stack_a = Ipstack.attach a ~ip:ip_a in
+  let stack_b = Ipstack.attach b ~ip:ip_b in
+  let udp_a = Udp.create stack_a and udp_b = Udp.create stack_b in
+  let server = Udp.socket udp_b ~port:53 () in
+  let client = Udp.socket udp_a () in
+  let got = ref None and reply = ref None in
+  ignore
+    (Host.spawn b ~name:"server" (fun () ->
+         match Udp.recv server with
+         | Some (src, src_port, data) ->
+           got := Some (Packet.to_string data);
+           Udp.send server ~dst:src ~dst_port:src_port (Packet.of_string "response")
+         | None -> ()));
+  ignore
+    (Host.spawn a ~name:"client" (fun () ->
+         Udp.send client ~dst:ip_b ~dst_port:53 (Packet.of_string "query");
+         reply := Udp.recv ~timeout:1_000_000 client));
+  Engine.run eng;
+  Alcotest.(check (option string)) "server got query" (Some "query") !got;
+  (match !reply with
+  | Some (src, 53, data) ->
+    Alcotest.(check string) "reply" "response" (Packet.to_string data);
+    Alcotest.(check string) "from server" "10.0.0.2" (Ipv4.string_of_addr src)
+  | Some _ | None -> Alcotest.fail "no reply");
+  (* ARP resolved exactly once each way. *)
+  Alcotest.(check bool) "a knows b" true (Ipstack.arp_table_size stack_a >= 1);
+  Alcotest.(check bool) "b knows a" true (Ipstack.arp_table_size stack_b >= 1);
+  Alcotest.(check int) "one arp miss at a" 1 (Pf_sim.Stats.get (Host.stats a) "arp.misses")
+
+let test_udp_port_demux () =
+  let eng, a, b = dix_world () in
+  let ip_b = Ipv4.addr_of_string "10.0.0.2" in
+  let stack_a = Ipstack.attach a ~ip:(Ipv4.addr_of_string "10.0.0.1") in
+  let stack_b = Ipstack.attach b ~ip:ip_b in
+  let udp_a = Udp.create stack_a and udp_b = Udp.create stack_b in
+  let s1 = Udp.socket udp_b ~port:1000 () in
+  let s2 = Udp.socket udp_b ~port:2000 () in
+  let client = Udp.socket udp_a () in
+  let got1 = ref 0 and got2 = ref 0 in
+  ignore
+    (Host.spawn b ~name:"s1" (fun () ->
+         while Udp.recv ~timeout:200_000 s1 <> None do
+           incr got1
+         done));
+  ignore
+    (Host.spawn b ~name:"s2" (fun () ->
+         while Udp.recv ~timeout:200_000 s2 <> None do
+           incr got2
+         done));
+  ignore
+    (Host.spawn a ~name:"client" (fun () ->
+         Udp.send client ~dst:ip_b ~dst_port:1000 (Packet.of_string "one");
+         Udp.send client ~dst:ip_b ~dst_port:2000 (Packet.of_string "two");
+         Udp.send client ~dst:ip_b ~dst_port:1000 (Packet.of_string "three")));
+  Engine.run eng;
+  Alcotest.(check int) "port 1000" 2 !got1;
+  Alcotest.(check int) "port 2000" 1 !got2
+
+(* {1 TCP} *)
+
+let tcp_world () =
+  let eng, a, b = dix_world () in
+  let ip_a = Ipv4.addr_of_string "10.0.0.1" and ip_b = Ipv4.addr_of_string "10.0.0.2" in
+  let stack_a = Ipstack.attach a ~ip:ip_a in
+  let stack_b = Ipstack.attach b ~ip:ip_b in
+  (* Pre-seed ARP so handshake timing is clean. *)
+  Ipstack.add_route stack_a ~ip:ip_b (Host.addr b);
+  Ipstack.add_route stack_b ~ip:ip_a (Host.addr a);
+  (eng, a, b, ip_a, ip_b, Tcp.create stack_a, Tcp.create stack_b)
+
+let test_tcp_transfer ?mss ~size () =
+  let eng, a, b, _, ip_b, tcp_a, tcp_b = tcp_world () in
+  let listener = Tcp.listen tcp_b ~port:80 in
+  let sent = String.init size (fun i -> Char.chr (65 + (i mod 26))) in
+  let received = Buffer.create size in
+  ignore
+    (Host.spawn b ~name:"server" (fun () ->
+         match Tcp.accept listener with
+         | Some conn ->
+           let rec drain () =
+             match Tcp.recv conn with
+             | Some s ->
+               Buffer.add_string received s;
+               drain ()
+             | None -> ()
+           in
+           drain ()
+         | None -> Alcotest.fail "accept failed"));
+  ignore
+    (Host.spawn a ~name:"client" (fun () ->
+         match Tcp.connect ?mss tcp_a ~dst:ip_b ~dst_port:80 with
+         | Some conn ->
+           Tcp.send conn sent;
+           Tcp.close conn
+         | None -> Alcotest.fail "connect failed"));
+  Engine.run eng;
+  (sent, Buffer.contents received)
+
+let test_tcp_small () =
+  let sent, received = test_tcp_transfer ~size:100 () in
+  Alcotest.(check string) "small transfer" sent received
+
+let test_tcp_bulk () =
+  let sent, received = test_tcp_transfer ~size:100_000 () in
+  Alcotest.(check int) "bulk length" (String.length sent) (String.length received);
+  Alcotest.(check bool) "bulk content" true (sent = received)
+
+let test_tcp_small_mss () =
+  let sent, received = test_tcp_transfer ~mss:532 ~size:50_000 () in
+  Alcotest.(check bool) "532-byte segments" true (sent = received)
+
+let test_tcp_bidirectional_echo () =
+  let eng, a, b, _, ip_b, tcp_a, tcp_b = tcp_world () in
+  let listener = Tcp.listen tcp_b ~port:7 in
+  ignore
+    (Host.spawn b ~name:"echo" (fun () ->
+         match Tcp.accept listener with
+         | Some conn ->
+           let rec loop () =
+             match Tcp.recv conn with
+             | Some s ->
+               Tcp.send conn s;
+               loop ()
+             | None -> Tcp.close conn
+           in
+           loop ()
+         | None -> ()));
+  let echoed = Buffer.create 64 in
+  ignore
+    (Host.spawn a ~name:"client" (fun () ->
+         match Tcp.connect tcp_a ~dst:ip_b ~dst_port:7 with
+         | Some conn ->
+           Tcp.send conn "hello";
+           (match Tcp.recv conn with
+           | Some s -> Buffer.add_string echoed s
+           | None -> ());
+           Tcp.send conn " world";
+           (match Tcp.recv conn with
+           | Some s -> Buffer.add_string echoed s
+           | None -> ());
+           Tcp.close conn
+         | None -> Alcotest.fail "connect failed"));
+  Engine.run eng;
+  Alcotest.(check string) "echo round trips" "hello world" (Buffer.contents echoed)
+
+(* {1 VMTP (user and kernel implementations)} *)
+
+let vmtp_roundtrip impl =
+  let eng, a, b = dix_world () in
+  let handler request =
+    (* Respond with 3KB no matter the request, exercising multi-packet
+       responses. *)
+    ignore request;
+    Packet.of_string (String.make 3_000 'r')
+  in
+  let server = Vmtp.server b impl ~entity:500l ~handler in
+  let client = Vmtp.client a impl ~entity:600l in
+  let result = ref None in
+  ignore
+    (Host.spawn a ~name:"caller" (fun () ->
+         result :=
+           Vmtp.call client ~server:500l ~server_addr:(Host.addr b)
+             (Packet.of_string "request");
+         Vmtp.close_client client;
+         Vmtp.stop_server server));
+  Engine.run ~until:10_000_000 eng;
+  !result
+
+let test_vmtp_user () =
+  match vmtp_roundtrip (Vmtp.User { batch = false }) with
+  | Some response ->
+    Alcotest.(check int) "3KB response" 3_000 (Packet.length response);
+    Alcotest.(check char) "content" 'r' (Char.chr (Packet.byte response 0))
+  | None -> Alcotest.fail "user-level call failed"
+
+let test_vmtp_user_batched () =
+  match vmtp_roundtrip (Vmtp.User { batch = true }) with
+  | Some response -> Alcotest.(check int) "3KB response" 3_000 (Packet.length response)
+  | None -> Alcotest.fail "batched call failed"
+
+let test_vmtp_kernel () =
+  match vmtp_roundtrip Vmtp.Kernel with
+  | Some response -> Alcotest.(check int) "3KB response" 3_000 (Packet.length response)
+  | None -> Alcotest.fail "kernel call failed"
+
+let test_vmtp_multiple_calls () =
+  let eng, a, b = dix_world () in
+  let served = Vmtp.server b (Vmtp.User { batch = false }) ~entity:1l
+      ~handler:(fun req -> req)
+  in
+  let client = Vmtp.client a (Vmtp.User { batch = false }) ~entity:2l in
+  let ok = ref 0 in
+  ignore
+    (Host.spawn a ~name:"caller" (fun () ->
+         for i = 1 to 5 do
+           match
+             Vmtp.call client ~server:1l ~server_addr:(Host.addr b)
+               (Packet.of_string (Printf.sprintf "echo-%d" i))
+           with
+           | Some r when Packet.to_string r = Printf.sprintf "echo-%d" i -> incr ok
+           | Some _ | None -> ()
+         done;
+         Vmtp.close_client client;
+         Vmtp.stop_server served));
+  Engine.run ~until:20_000_000 eng;
+  Alcotest.(check int) "five echoes" 5 !ok;
+  Alcotest.(check int) "served count" 5 (Vmtp.requests_served served)
+
+(* {1 RARP} *)
+
+let test_rarp_boot () =
+  let eng, a, b = dix_world () in
+  let mac_a = match Host.addr a with Addr.Eth m -> m | _ -> assert false in
+  let mac_b = match Host.addr b with Addr.Eth m -> m | _ -> assert false in
+  let server =
+    Rarp.server b
+      ~table:
+        [ (mac_a, Ipv4.addr_of_string "10.0.0.1"); (mac_b, Ipv4.addr_of_string "10.0.0.2") ]
+  in
+  let my_ip = ref None in
+  ignore (Host.spawn a ~name:"booting" (fun () -> my_ip := Rarp.whoami a));
+  Engine.run ~until:5_000_000 eng;
+  (match !my_ip with
+  | Some ip -> Alcotest.(check string) "learned own IP" "10.0.0.1" (Ipv4.string_of_addr ip)
+  | None -> Alcotest.fail "RARP got no answer");
+  Alcotest.(check int) "server answered once" 1 (Rarp.answered server);
+  Rarp.stop server;
+  Engine.run eng
+
+let test_rarp_unknown_host_times_out () =
+  let eng, a, _b = dix_world () in
+  (* No server at all: whoami must give up after its retries. *)
+  let my_ip = ref (Some 0l) in
+  ignore
+    (Host.spawn a ~name:"booting" (fun () -> my_ip := Rarp.whoami ~timeout:10_000 ~retries:2 a));
+  Engine.run eng;
+  Alcotest.(check (option int32)) "no answer" None !my_ip
+
+(* {1 Telnet} *)
+
+let test_telnet_over_tcp_display_limited () =
+  let eng, a, b, _, ip_b, tcp_a, tcp_b = tcp_world () in
+  let listener = Tcp.listen tcp_b ~port:23 in
+  let displayed = ref 0 in
+  let t0 = ref 0 and t1 = ref 0 in
+  ignore
+    (Host.spawn b ~name:"telnet-server" (fun () ->
+         match Tcp.accept listener with
+         | Some conn -> Telnet.run_server (Telnet.Tcp conn) ~chars:5_000 ~chunk:256
+         | None -> ()));
+  ignore
+    (Host.spawn a ~name:"telnet-user" (fun () ->
+         match Tcp.connect tcp_a ~dst:ip_b ~dst_port:23 with
+         | Some conn ->
+           t0 := Engine.now eng;
+           displayed := Telnet.run_display (Telnet.Tcp conn) Telnet.terminal_9600;
+           t1 := Engine.now eng
+         | None -> ()));
+  Engine.run eng;
+  Alcotest.(check int) "all characters displayed" 5_000 !displayed;
+  let rate = float_of_int !displayed /. Pf_sim.Time.to_sec (!t1 - !t0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %.0f limited by 960cps terminal" rate)
+    true
+    (rate <= 970. && rate > 500.)
+
+let suite =
+  ( "proto",
+    [
+      Alcotest.test_case "pup roundtrip" `Quick test_pup_roundtrip;
+      Alcotest.test_case "pup odd-length pad" `Quick test_pup_odd_length_pads;
+      Alcotest.test_case "pup checksum detects corruption" `Quick
+        test_pup_checksum_detects_corruption;
+      Alcotest.test_case "pup no-checksum" `Quick test_pup_no_checksum_passes;
+      Alcotest.test_case "pup figure 3-7 offsets" `Quick test_pup_figure_3_7_offsets;
+      QCheck_alcotest.to_alcotest prop_pup_roundtrip;
+      Alcotest.test_case "pup socket exchange" `Quick test_pup_socket_exchange;
+      Alcotest.test_case "pup socket filtering" `Quick test_pup_socket_filters_other_sockets;
+      Alcotest.test_case "bsp small transfer" `Quick test_bsp_small_transfer;
+      Alcotest.test_case "bsp bulk transfer" `Quick test_bsp_bulk_transfer;
+      Alcotest.test_case "bsp windowed transfer" `Quick test_bsp_windowed_transfer;
+      Alcotest.test_case "bsp retransmission" `Quick test_bsp_retransmission_on_overflow;
+      Alcotest.test_case "ipv4 roundtrip" `Quick test_ipv4_roundtrip;
+      Alcotest.test_case "ipv4 checksum" `Quick test_ipv4_checksum_detects_corruption;
+      Alcotest.test_case "ipv4 addresses" `Quick test_ipv4_addr_strings;
+      Alcotest.test_case "arp roundtrip" `Quick test_arp_roundtrip;
+      Alcotest.test_case "udp end to end (arp)" `Quick test_udp_end_to_end;
+      Alcotest.test_case "udp port demux" `Quick test_udp_port_demux;
+      Alcotest.test_case "tcp small" `Quick test_tcp_small;
+      Alcotest.test_case "tcp bulk 100KB" `Quick test_tcp_bulk;
+      Alcotest.test_case "tcp mss 532" `Quick test_tcp_small_mss;
+      Alcotest.test_case "tcp echo" `Quick test_tcp_bidirectional_echo;
+      Alcotest.test_case "vmtp user" `Quick test_vmtp_user;
+      Alcotest.test_case "vmtp user batched" `Quick test_vmtp_user_batched;
+      Alcotest.test_case "vmtp kernel" `Quick test_vmtp_kernel;
+      Alcotest.test_case "vmtp multiple calls" `Quick test_vmtp_multiple_calls;
+      Alcotest.test_case "rarp boot" `Quick test_rarp_boot;
+      Alcotest.test_case "rarp no server" `Quick test_rarp_unknown_host_times_out;
+      Alcotest.test_case "telnet display-limited" `Quick test_telnet_over_tcp_display_limited;
+    ] )

@@ -1,0 +1,409 @@
+(* Second-round protocol tests: wire-level checks through the monitor,
+   ARP queueing, kernel-VMTP duplicate suppression, BSP windows, Pup on the
+   10Mb Ethernet, Telnet bottlenecks, interpreter semantics divergence, and
+   pseudodevice reordering. *)
+
+open Pf_proto
+module Packet = Pf_pkt.Packet
+module Engine = Pf_sim.Engine
+module Process = Pf_sim.Process
+module Host = Pf_kernel.Host
+module Pfdev = Pf_kernel.Pfdev
+module Addr = Pf_net.Addr
+module Frame = Pf_net.Frame
+
+let dix_world ?(costs = Pf_sim.Costs.free) () =
+  let eng = Engine.create () in
+  let link = Pf_net.Link.create eng Frame.Dix10 ~rate_mbit:10. () in
+  let a = Host.create ~costs link ~name:"a" ~addr:(Addr.eth_host 1) in
+  let b = Host.create ~costs link ~name:"b" ~addr:(Addr.eth_host 2) in
+  (eng, link, a, b)
+
+let tcp_pair eng a b =
+  let ip_a = Ipv4.addr_of_string "10.0.0.1" and ip_b = Ipv4.addr_of_string "10.0.0.2" in
+  let stack_a = Ipstack.attach a ~ip:ip_a in
+  let stack_b = Ipstack.attach b ~ip:ip_b in
+  Ipstack.add_route stack_a ~ip:ip_b (Host.addr b);
+  Ipstack.add_route stack_b ~ip:ip_a (Host.addr a);
+  ignore eng;
+  (ip_b, Tcp.create stack_a, Tcp.create stack_b)
+
+(* {1 TCP on the wire, seen through the monitor} *)
+
+let test_tcp_wire_respects_mss () =
+  let eng, link, a, b = dix_world () in
+  let mon = Host.create ~costs:Pf_sim.Costs.free link ~name:"mon" ~addr:(Addr.eth_host 9) in
+  let capture = Pf_monitor.Capture.start mon in
+  let ip_b, tcp_a, tcp_b = tcp_pair eng a b in
+  let listener = Tcp.listen tcp_b ~port:80 in
+  ignore
+    (Host.spawn b ~name:"sink" (fun () ->
+         match Tcp.accept listener with
+         | Some conn ->
+           let rec drain () = match Tcp.recv conn with Some _ -> drain () | None -> () in
+           drain ()
+         | None -> ()));
+  ignore
+    (Host.spawn a ~name:"source" (fun () ->
+         match Tcp.connect ~mss:532 tcp_a ~dst:ip_b ~dst_port:80 with
+         | Some conn ->
+           Tcp.send conn (String.make 5_000 'm');
+           Tcp.close conn
+         | None -> Alcotest.fail "connect failed"));
+  Engine.run eng;
+  let trace = Pf_monitor.Capture.stop capture in
+  Alcotest.(check bool) "captured the conversation" true (List.length trace > 10);
+  (* Every frame obeys MSS + 14 eth + 20 ip + 20 tcp. *)
+  List.iter
+    (fun (r : Pf_monitor.Capture.record) ->
+      Alcotest.(check bool) "frame within mss" true
+        (Packet.length r.Pf_monitor.Capture.frame <= 532 + 54))
+    trace;
+  (* The handshake is visible: a SYN and a SYN+ACK. *)
+  let summaries =
+    List.map (fun r -> Pf_monitor.Decode.summarize Frame.Dix10 r.Pf_monitor.Capture.frame) trace
+  in
+  Alcotest.(check bool) "SYN seen" true
+    (List.exists (fun s -> Testutil.contains s "TCP" && Testutil.contains s " S ") summaries
+    || List.exists (fun s -> Testutil.contains s "S.") summaries
+    || List.exists (fun s -> Testutil.contains s " S") summaries);
+  (* And a FIN at the end. *)
+  Alcotest.(check bool) "FIN seen" true
+    (List.exists (fun s -> Testutil.contains s "F") summaries)
+
+(* {1 ARP queues several datagrams while resolving} *)
+
+let test_arp_queues_multiple_pending () =
+  let eng, _, a, b = dix_world () in
+  let ip_a = Ipv4.addr_of_string "10.0.0.1" and ip_b = Ipv4.addr_of_string "10.0.0.2" in
+  let stack_a = Ipstack.attach a ~ip:ip_a in
+  let stack_b = Ipstack.attach b ~ip:ip_b in
+  let udp_a = Udp.create stack_a and udp_b = Udp.create stack_b in
+  let got = ref 0 in
+  let server = Udp.socket udp_b ~port:9 () in
+  ignore
+    (Host.spawn b ~name:"server" (fun () ->
+         while Udp.recv ~timeout:300_000 server <> None do
+           incr got
+         done));
+  let client = Udp.socket udp_a () in
+  ignore
+    (Host.spawn a ~name:"client" (fun () ->
+         (* Three sends back to back, before any ARP reply can arrive. *)
+         for i = 1 to 3 do
+           Udp.send client ~dst:ip_b ~dst_port:9 (Packet.of_string (string_of_int i))
+         done));
+  Engine.run eng;
+  Alcotest.(check int) "all three delivered after one resolution" 3 !got;
+  Alcotest.(check int) "single ARP miss" 1 (Pf_sim.Stats.get (Host.stats a) "arp.misses")
+
+(* {1 Kernel VMTP suppresses duplicate requests below the server} *)
+
+let test_vmtp_kernel_duplicate_suppression () =
+  let eng, _, a, b = dix_world () in
+  let server =
+    Vmtp.server b Vmtp.Kernel ~entity:1l ~handler:(fun _ -> Packet.of_string "resp")
+  in
+  let client = Vmtp.client a Vmtp.Kernel ~entity:2l in
+  let raw = Pfdev.open_port (Host.pf a) in
+  ignore
+    (Host.spawn a ~name:"caller" (fun () ->
+         (match Vmtp.call client ~server:1l ~server_addr:(Host.addr b) (Packet.of_string "q") with
+         | Some _ -> ()
+         | None -> Alcotest.fail "call failed");
+         (* Replay the same transaction id (tid 1) by hand: the kernel's
+            reply cache must answer without waking the server process. *)
+         let dup =
+           Frame.encode Frame.Dix10 ~dst:(Host.addr b) ~src:(Host.addr a)
+             ~ethertype:Pf_net.Ethertype.vmtp
+             (Packet.concat
+                [ Packet.of_words [ 0; 1; 0; 2; 1 lsl 8; 1; 0xffff; 1 ];
+                  Packet.of_string "q" ])
+         in
+         Pfdev.write raw dup;
+         Process.pause 100_000;
+         Vmtp.stop_server server));
+  Engine.run ~until:5_000_000 eng;
+  Alcotest.(check int) "server handled exactly one request" 1 (Vmtp.requests_served server);
+  Alcotest.(check int) "kernel answered the duplicate" 1
+    (Pf_sim.Stats.get (Host.stats b) "vmtp.dup_request")
+
+(* {1 BSP window sweep} *)
+
+let test_bsp_window_speeds_up () =
+  let run window =
+    let eng = Engine.create () in
+    let link = Pf_net.Link.create eng Frame.Exp3 ~rate_mbit:3. () in
+    let a = Host.create link ~name:"a" ~addr:(Addr.exp 1) in
+    let b = Host.create link ~name:"b" ~addr:(Addr.exp 2) in
+    let sock_a = Pup_socket.create a ~socket:1l in
+    let sock_b = Pup_socket.create b ~socket:2l in
+    let finished = ref 0 in
+    ignore
+      (Host.spawn b ~name:"sink" (fun () ->
+           let conn = Bsp.accept ~window sock_b () in
+           let rec drain () = match Bsp.recv conn with Some _ -> drain () | None -> () in
+           drain ();
+           finished := Engine.now eng));
+    ignore
+      (Host.spawn a ~name:"source" (fun () ->
+           match Bsp.connect sock_a ~peer:(Pup.port ~host:2 2l) ~window () with
+           | Some conn ->
+             Bsp.send conn (String.make 40_000 'w');
+             Bsp.close conn
+           | None -> Alcotest.fail "connect failed"));
+    Engine.run eng;
+    !finished
+  in
+  let t1 = run 1 and t4 = run 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "window 4 faster than stop-and-wait (%d < %d)" t4 t1)
+    true (t4 < t1)
+
+(* {1 Pup sockets on the 10 Mb Ethernet (§6.4's configuration)} *)
+
+let test_pup_socket_dix10 () =
+  let eng, _, a, b = dix_world () in
+  let sock_a = Pup_socket.create a ~socket:10l in
+  let sock_b = Pup_socket.create b ~socket:20l in
+  let got = ref None in
+  ignore
+    (Host.spawn b ~name:"server" (fun () ->
+         got := Pup_socket.recv ~timeout:1_000_000 sock_b));
+  ignore
+    (Host.spawn a ~name:"client" (fun () ->
+         Pup_socket.send sock_a
+           ~dst:(Pup.port ~host:2 20l)
+           ~ptype:1 ~id:5l (Packet.of_string "over-dix")));
+  Engine.run eng;
+  match !got with
+  | Some pup ->
+    Alcotest.(check string) "data" "over-dix" (Packet.to_string pup.Pup.data);
+    Alcotest.(check int) "pup host number carried" 1 pup.Pup.src.Pup.host
+  | None -> Alcotest.fail "nothing received on the 10Mb pup socket"
+
+(* {1 Telnet bottleneck checks} *)
+
+let test_telnet_workstation_cpu_bound () =
+  let eng, _, a, b = dix_world ~costs:Pf_sim.Costs.microvax_ii () in
+  let ip_b, tcp_a, tcp_b = tcp_pair eng a b in
+  let listener = Tcp.listen tcp_b ~port:23 in
+  let displayed = ref 0 and t0 = ref 0 and t1 = ref 0 in
+  ignore
+    (Host.spawn b ~name:"server" (fun () ->
+         match Tcp.accept listener with
+         | Some conn -> Telnet.run_server (Telnet.Tcp conn) ~chars:3_000 ~chunk:16
+         | None -> ()));
+  ignore
+    (Host.spawn a ~name:"user" (fun () ->
+         match Tcp.connect tcp_a ~dst:ip_b ~dst_port:23 with
+         | Some conn ->
+           t0 := Engine.now eng;
+           displayed := Telnet.run_display (Telnet.Tcp conn) Telnet.workstation;
+           t1 := Engine.now eng
+         | None -> ()));
+  Engine.run eng;
+  Alcotest.(check int) "all chars" 3_000 !displayed;
+  let rate = float_of_int !displayed /. Pf_sim.Time.to_sec (!t1 - !t0) in
+  (* CPU contention keeps it well under the raw display speed. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %.0f below 3350 raw" rate)
+    true
+    (rate < 3_000. && rate > 800.)
+
+(* {1 Where the two published short-circuit semantics diverge} *)
+
+let test_semantics_divergence_documented () =
+  (* [pushzero; push 5; pushlit cand 5]: under the paper's semantics the
+     CAND pushes TRUE (top = 1, accept); under 4.3BSD's it pushes nothing,
+     exposing the 0 underneath (reject). Figures 3-8/3-9 avoid the pattern;
+     this test pins the difference down. *)
+  let open Pf_filter in
+  let p =
+    Program.v
+      [ Insn.make Action.Pushzero; Insn.make (Action.Pushlit 5);
+        Insn.make ~op:Op.Cand (Action.Pushlit 5) ]
+  in
+  let pkt = Packet.of_string "" in
+  Alcotest.(check bool) "paper semantics accepts" true (Interp.accepts ~semantics:`Paper p pkt);
+  Alcotest.(check bool) "bsd semantics rejects" false (Interp.accepts ~semantics:`Bsd p pkt)
+
+(* {1 Busier-first reordering of equal-priority filters (§3.2)} *)
+
+let test_pfdev_reorders_busier_first () =
+  let eng = Engine.create () in
+  let link = Pf_net.Link.create eng Frame.Exp3 ~rate_mbit:3. () in
+  let a = Host.create ~costs:Pf_sim.Costs.free link ~name:"a" ~addr:(Addr.exp 1) in
+  let b = Host.create ~costs:Pf_sim.Costs.free link ~name:"b" ~addr:(Addr.exp 2) in
+  let quiet = Pfdev.open_port (Host.pf b) in
+  let busy = Pfdev.open_port (Host.pf b) in
+  (* Same priority; the quiet filter was installed first so it is tested
+     first until the periodic busier-first reordering kicks in. *)
+  (match Pfdev.set_filter quiet (Pf_filter.Predicates.pup_dst_socket ~priority:5 1l) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "set_filter");
+  (match Pfdev.set_filter busy (Pf_filter.Predicates.pup_dst_socket ~priority:5 2l) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "set_filter");
+  Pfdev.set_queue_limit busy 1024;
+  let n = 600 in
+  let tx = Pfdev.open_port (Host.pf a) in
+  ignore
+    (Host.spawn a ~name:"writer" (fun () ->
+         for _ = 1 to n do
+           Pfdev.write tx (Testutil.pup_frame ~dst_byte:2 ~dst_socket:2l ())
+         done));
+  Engine.run eng;
+  let tested = Pf_sim.Stats.get (Host.stats b) "pf.filters_tested" in
+  (* Without reordering every packet tests 2 filters (quiet first): 1200.
+     With the every-256-packets reordering, the busy one moves up and most
+     packets test only 1. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "reordering reduced filters tested (%d < %d)" tested (2 * n))
+    true
+    (tested < (2 * n) - 100)
+
+(* {1 V IKP (§5.2's first act)} *)
+
+let test_ikp_send_reply () =
+  let eng, _, a, b = dix_world ~costs:Pf_sim.Costs.microvax_ii () in
+  let server =
+    Ikp.server b ~pid:0x100l ~handler:(fun msg ->
+        (* V-style: echo the message with the first byte bumped. *)
+        let bytes = Packet.to_bytes msg in
+        Bytes.set_uint8 bytes 0 (Bytes.get_uint8 bytes 0 + 1);
+        Packet.of_bytes bytes)
+  in
+  let client = Ikp.client a ~pid:0x200l in
+  let replies = ref [] in
+  ignore
+    (Host.spawn a ~name:"v-client" (fun () ->
+         for i = 1 to 3 do
+           match
+             Ikp.send client ~dst:0x100l ~dst_addr:(Host.addr b)
+               (Packet.of_string (String.make 1 (Char.chr i) ^ "payload"))
+           with
+           | Some reply -> replies := Packet.byte reply 0 :: !replies
+           | None -> Alcotest.fail "ikp send failed"
+         done;
+         Ikp.close client;
+         Ikp.stop server));
+  Engine.run ~until:10_000_000 eng;
+  Alcotest.(check (list int)) "replies bumped" [ 4; 3; 2 ] !replies;
+  Alcotest.(check int) "server served three" 3 (Ikp.served server)
+
+let test_ikp_fixed_size_messages () =
+  let eng, _, a, b = dix_world () in
+  let got_len = ref 0 in
+  let server =
+    Ikp.server b ~pid:1l ~handler:(fun msg ->
+        got_len := Packet.length msg;
+        Packet.of_string "short")
+  in
+  let client = Ikp.client a ~pid:2l in
+  let reply_len = ref 0 in
+  ignore
+    (Host.spawn a ~name:"client" (fun () ->
+         (match Ikp.send client ~dst:1l ~dst_addr:(Host.addr b) (Packet.of_string "hi") with
+         | Some r -> reply_len := Packet.length r
+         | None -> Alcotest.fail "send failed");
+         Ikp.close client;
+         Ikp.stop server));
+  Engine.run ~until:5_000_000 eng;
+  Alcotest.(check int) "message padded to 32" 32 !got_len;
+  Alcotest.(check int) "reply padded to 32" 32 !reply_len
+
+let test_ikp_no_server_times_out () =
+  let eng, _, a, b = dix_world () in
+  let client = Ikp.client a ~pid:2l in
+  let result = ref (Some (Packet.of_string "sentinel")) in
+  ignore
+    (Host.spawn a ~name:"client" (fun () ->
+         result := Ikp.send ~timeout:5_000 client ~dst:1l ~dst_addr:(Host.addr b)
+             (Packet.of_string "anyone?")));
+  Engine.run eng;
+  Alcotest.(check bool) "gave up" true (!result = None)
+
+(* {1 EFTP (§5.1)} *)
+
+let eftp_world () =
+  let eng = Engine.create () in
+  let link = Pf_net.Link.create eng Frame.Exp3 ~rate_mbit:3. () in
+  let a = Host.create link ~name:"a" ~addr:(Addr.exp 1) in
+  let b = Host.create link ~name:"b" ~addr:(Addr.exp 2) in
+  (eng, a, b)
+
+let test_eftp_transfer () =
+  let eng, a, b = eftp_world () in
+  let file = String.init 5_000 (fun i -> Char.chr (32 + (i mod 95))) in
+  let sock_a = Pup_socket.create a ~socket:0x20l in
+  let sock_b = Pup_socket.create b ~socket:0x21l in
+  let received = ref (Error "not run") in
+  ignore (Host.spawn b ~name:"eftp-recv" (fun () -> received := Eftp.receive sock_b));
+  let sent = ref (Error "not run") in
+  ignore
+    (Host.spawn a ~name:"eftp-send" (fun () ->
+         sent := Eftp.send sock_a ~dst:(Pup.port ~host:2 0x21l) file));
+  Engine.run eng;
+  (match !sent with Ok () -> () | Error e -> Alcotest.fail ("send: " ^ e));
+  match !received with
+  | Ok data -> Alcotest.(check string) "file intact" file data
+  | Error e -> Alcotest.fail ("receive: " ^ e)
+
+let test_eftp_empty_file () =
+  let eng, a, b = eftp_world () in
+  let sock_a = Pup_socket.create a ~socket:0x20l in
+  let sock_b = Pup_socket.create b ~socket:0x21l in
+  let received = ref (Error "not run") in
+  ignore (Host.spawn b ~name:"recv" (fun () -> received := Eftp.receive sock_b));
+  ignore
+    (Host.spawn a ~name:"send" (fun () ->
+         ignore (Eftp.send sock_a ~dst:(Pup.port ~host:2 0x21l) "")));
+  Engine.run eng;
+  match !received with
+  | Ok "" -> ()
+  | Ok data -> Alcotest.fail (Printf.sprintf "expected empty, got %d bytes" (String.length data))
+  | Error e -> Alcotest.fail e
+
+let test_eftp_survives_lost_acks () =
+  (* A one-packet receive queue on the sender's socket drops some acks when
+     duplicates pile up; stop-and-wait must still deliver the exact file. *)
+  let eng, a, b = eftp_world () in
+  let file = String.init 8_192 (fun i -> Char.chr (65 + (i mod 26))) in
+  let sock_a = Pup_socket.create a ~socket:0x20l in
+  let sock_b = Pup_socket.create b ~socket:0x21l in
+  Pf_kernel.Pfdev.set_queue_limit (Pup_socket.port sock_a) 1;
+  Pf_kernel.Pfdev.set_queue_limit (Pup_socket.port sock_b) 1;
+  let received = ref (Error "not run") in
+  ignore (Host.spawn b ~name:"recv" (fun () -> received := Eftp.receive ~timeout:30_000 sock_b));
+  ignore
+    (Host.spawn a ~name:"send" (fun () ->
+         match Eftp.send ~timeout:30_000 sock_a ~dst:(Pup.port ~host:2 0x21l) file with
+         | Ok () -> ()
+         | Error e -> Alcotest.fail ("send: " ^ e)));
+  Engine.run ~until:60_000_000 eng;
+  match !received with
+  | Ok data -> Alcotest.(check string) "exact file despite tiny queues" file data
+  | Error e -> Alcotest.fail ("receive: " ^ e)
+
+let suite =
+  ( "proto2",
+    [
+      Alcotest.test_case "tcp wire respects mss + handshake" `Quick test_tcp_wire_respects_mss;
+      Alcotest.test_case "arp queues pending datagrams" `Quick test_arp_queues_multiple_pending;
+      Alcotest.test_case "vmtp kernel duplicate suppression" `Quick
+        test_vmtp_kernel_duplicate_suppression;
+      Alcotest.test_case "bsp window speeds up" `Quick test_bsp_window_speeds_up;
+      Alcotest.test_case "pup socket on 10Mb" `Quick test_pup_socket_dix10;
+      Alcotest.test_case "telnet workstation cpu-bound" `Quick
+        test_telnet_workstation_cpu_bound;
+      Alcotest.test_case "paper vs bsd semantics divergence" `Quick
+        test_semantics_divergence_documented;
+      Alcotest.test_case "busier-first reordering" `Quick test_pfdev_reorders_busier_first;
+      Alcotest.test_case "ikp send/reply" `Quick test_ikp_send_reply;
+      Alcotest.test_case "ikp fixed-size messages" `Quick test_ikp_fixed_size_messages;
+      Alcotest.test_case "ikp no server" `Quick test_ikp_no_server_times_out;
+      Alcotest.test_case "eftp transfer" `Quick test_eftp_transfer;
+      Alcotest.test_case "eftp empty file" `Quick test_eftp_empty_file;
+      Alcotest.test_case "eftp survives lost acks" `Quick test_eftp_survives_lost_acks;
+    ] )

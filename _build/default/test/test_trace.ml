@@ -1,0 +1,124 @@
+(* Trace files and flow analysis. *)
+
+open Pf_monitor
+module Packet = Pf_pkt.Packet
+module Frame = Pf_net.Frame
+
+let record seq timestamp frame =
+  { Capture.seq; timestamp; frame; dropped_before = 0 }
+
+let sample_trace =
+  [
+    record 0 1_000 (Testutil.pup_frame ~dst_byte:1 ~src_byte:2 ());
+    record 1 2_500 (Testutil.pup_frame ~dst_byte:2 ~src_byte:1 ~dst_socket:99l ());
+    record 2 9_000 (Packet.of_string "short");
+  ]
+
+let test_tracefile_roundtrip () =
+  let data = Tracefile.save Frame.Exp3 sample_trace in
+  match Tracefile.load data with
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Tracefile.pp_error e)
+  | Ok (variant, records) ->
+    Alcotest.(check bool) "variant" true (variant = Frame.Exp3);
+    Alcotest.(check int) "count" 3 (List.length records);
+    List.iter2
+      (fun (a : Capture.record) (b : Capture.record) ->
+        Alcotest.(check int) "timestamp" a.Capture.timestamp b.Capture.timestamp;
+        Alcotest.(check bool) "frame" true (Packet.equal a.Capture.frame b.Capture.frame))
+      sample_trace records
+
+let test_tracefile_errors () =
+  Alcotest.(check bool) "bad magic" true
+    (Tracefile.load "NOPE\x00\x00\x00\x00\x00" = Error Tracefile.Bad_magic);
+  Alcotest.(check bool) "truncated header" true
+    (Tracefile.load "PFT1" = Error Tracefile.Truncated);
+  let good = Tracefile.save Frame.Dix10 sample_trace in
+  Alcotest.(check bool) "truncated body" true
+    (Tracefile.load (String.sub good 0 (String.length good - 3)) = Error Tracefile.Truncated);
+  let bad_variant = Bytes.of_string good in
+  Bytes.set_uint8 bad_variant 4 7;
+  Alcotest.(check bool) "bad variant" true
+    (Tracefile.load (Bytes.to_string bad_variant) = Error (Tracefile.Bad_variant 7))
+
+let test_tracefile_file_io () =
+  let path = Filename.temp_file "pf" ".pft" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Tracefile.write_file path Frame.Exp3 sample_trace;
+      match Tracefile.read_file path with
+      | Ok (Frame.Exp3, records) -> Alcotest.(check int) "count" 3 (List.length records)
+      | Ok _ -> Alcotest.fail "wrong variant"
+      | Error e -> Alcotest.fail (Format.asprintf "%a" Tracefile.pp_error e))
+
+let prop_tracefile_roundtrip =
+  QCheck.Test.make ~name:"tracefile save/load roundtrip" ~count:200
+    QCheck.(list (pair small_nat (string_of_size (Gen.int_bound 80))))
+    (fun entries ->
+      let trace =
+        List.mapi (fun seq (ts, s) -> record seq ts (Packet.of_string s)) entries
+      in
+      match Tracefile.load (Tracefile.save Frame.Dix10 trace) with
+      | Ok (Frame.Dix10, records) ->
+        List.length records = List.length trace
+        && List.for_all2
+             (fun (a : Capture.record) (b : Capture.record) ->
+               a.Capture.timestamp = b.Capture.timestamp
+               && Packet.equal a.Capture.frame b.Capture.frame
+               && a.Capture.seq = b.Capture.seq)
+             trace records
+      | Ok _ | Error _ -> false)
+
+let prop_tracefile_load_total =
+  QCheck.Test.make ~name:"tracefile load total on garbage" ~count:300
+    QCheck.(string_of_size (Gen.int_bound 200))
+    (fun s -> match Tracefile.load s with Ok _ | Error _ -> true)
+
+(* {1 Flows} *)
+
+let test_flows_aggregate_both_directions () =
+  let flows = Flows.of_trace Frame.Exp3 sample_trace in
+  (* Two pup frames between #1 and #2 (both directions) = one flow;
+     the undecodable frame is skipped. *)
+  let pup_flows =
+    List.filter (fun f -> Testutil.contains f.Flows.key.Flows.protocol "PUP") flows
+  in
+  match pup_flows with
+  | [ f ] ->
+    Alcotest.(check int) "two packets" 2 f.Flows.packets;
+    Alcotest.(check int) "one each way" 1 f.Flows.a_to_b;
+    Alcotest.(check int) "one each way back" 1 f.Flows.b_to_a;
+    Alcotest.(check int) "duration" 1_500 (Flows.duration f);
+    Alcotest.(check string) "smaller endpoint first" "#1" f.Flows.key.Flows.endpoint_a
+  | flows -> Alcotest.fail (Printf.sprintf "expected 1 pup flow, got %d" (List.length flows))
+
+let test_flows_sorted_by_bytes () =
+  let big = record 0 0 (Testutil.pup_frame ()) in
+  let trace = [ big; record 1 5 (Packet.of_words [ 0x0102; 9; 1 ]) ] in
+  match Flows.of_trace Frame.Exp3 trace with
+  | first :: _ ->
+    Alcotest.(check bool) "biggest flow first" true (first.Flows.bytes >= 26)
+  | [] -> Alcotest.fail "no flows"
+
+let test_flows_broadcast_endpoint () =
+  let bcast = Testutil.pup_frame ~dst_byte:0 ~src_byte:3 () in
+  match Flows.of_trace Frame.Exp3 [ record 0 0 bcast ] with
+  | [ f ] ->
+    (* '#' sorts before '*', so the source is endpoint_a. *)
+    Alcotest.(check string) "broadcast is *" "*" f.Flows.key.Flows.endpoint_b;
+    Alcotest.(check string) "source named" "#3" f.Flows.key.Flows.endpoint_a
+  | _ -> Alcotest.fail "expected one flow"
+
+let suite =
+  ( "trace",
+    [
+      Alcotest.test_case "tracefile roundtrip" `Quick test_tracefile_roundtrip;
+      Alcotest.test_case "tracefile errors" `Quick test_tracefile_errors;
+      Alcotest.test_case "tracefile file io" `Quick test_tracefile_file_io;
+      QCheck_alcotest.to_alcotest prop_tracefile_roundtrip;
+      QCheck_alcotest.to_alcotest prop_tracefile_load_total;
+      Alcotest.test_case "flows aggregate directions" `Quick
+        test_flows_aggregate_both_directions;
+      Alcotest.test_case "flows sorted" `Quick test_flows_sorted_by_bytes;
+      Alcotest.test_case "flows broadcast" `Quick test_flows_broadcast_endpoint;
+    ] )
