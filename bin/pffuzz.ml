@@ -1,0 +1,78 @@
+(* pffuzz — differential fuzzer over every filter engine.
+
+   A campaign is a pure function of its seed: case [i] of campaign [s] is
+   always the same (program, packet) pair, on every machine. So the whole
+   reproduction story is two integers:
+
+     pffuzz --seed 42 --iters 100000     # hunt
+     pffuzz --seed 42 --index 8191       # replay one failing case
+
+   Exit status 0 means every case agreed (modulo the documented `Paper/`Bsd
+   and validator-rejection boundaries); 1 means a disagreement was found —
+   the report includes the shrunk reproducer and the replay command. *)
+
+open Cmdliner
+module Runner = Pf_fuzz.Runner
+module Gen = Pf_fuzz.Gen
+module Oracle = Pf_fuzz.Oracle
+
+let replay ~seed ~index =
+  let case, outcome = Runner.run_case ~seed ~index () in
+  Format.printf "@[<v>case %d of seed %d (%s, %s):@,@[<v 2>program:@,%a@]@,packet: %a@,%a@]@."
+    index seed
+    (match case.Gen.kind with `Valid -> "valid" | `Malformed -> "malformed")
+    case.Gen.shape Pf_filter.Program.pp case.Gen.program Pf_pkt.Packet.pp_hex
+    case.Gen.packet Oracle.pp_outcome outcome;
+  match outcome with Oracle.Disagreement _ -> 1 | _ -> 0
+
+let campaign ~seed ~iters ~seconds ~max_failures ~quiet =
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) seconds in
+  let should_stop =
+    match deadline with
+    | None -> fun () -> false
+    | Some d -> fun () -> Unix.gettimeofday () >= d
+  in
+  (* With a wall-clock budget, iterate until the clock runs out. *)
+  let iters = match seconds with Some _ -> max_int | None -> iters in
+  let progress i =
+    if (not quiet) && i mod 5000 = 0 then Printf.eprintf "pffuzz: %d cases...\r%!" i
+  in
+  let t0 = Unix.gettimeofday () in
+  let stats = Runner.run ~max_failures ~should_stop ~progress ~seed ~iters () in
+  let dt = Unix.gettimeofday () -. t0 in
+  if not quiet then Printf.eprintf "\n%!";
+  Format.printf "%a@." Runner.pp_stats stats;
+  Format.printf "%.1fs, %.0f cases/s@." dt (float_of_int stats.Runner.cases /. dt);
+  if stats.Runner.failures = [] then 0 else 1
+
+let main seed iters index seconds max_failures quiet =
+  match index with
+  | Some index -> replay ~seed ~index
+  | None -> campaign ~seed ~iters ~seconds ~max_failures ~quiet
+
+let cmd =
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
+  in
+  let iters =
+    Arg.(value & opt int 10_000 & info [ "iters" ] ~docv:"M" ~doc:"Number of cases to run.")
+  in
+  let index =
+    Arg.(value & opt (some int) None
+         & info [ "index" ] ~docv:"I" ~doc:"Replay a single case by campaign index and exit.")
+  in
+  let seconds =
+    Arg.(value & opt (some float) None
+         & info [ "seconds" ] ~docv:"S"
+             ~doc:"Run for a wall-clock budget instead of a case count (used by CI).")
+  in
+  let max_failures =
+    Arg.(value & opt int 5
+         & info [ "max-failures" ] ~docv:"K" ~doc:"Stop after K shrunk disagreements.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress output.") in
+  Cmd.v
+    (Cmd.info "pffuzz" ~doc:"Differential fuzzer: one oracle over every packet-filter engine")
+    Term.(const main $ seed $ iters $ index $ seconds $ max_failures $ quiet)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,6 +1,15 @@
 type t = { action : Action.t; op : Op.t }
 
-let make ?(op = Op.Nop) action = { action; op }
+(* Literals live in a 16-bit wire word; normalizing here keeps every engine
+   (the checked interpreter masks on push, the fast and closure engines do
+   not) and the codec in agreement on out-of-range values. *)
+let make ?(op = Op.Nop) action =
+  let action =
+    match action with
+    | Action.Pushlit v when v land 0xffff <> v -> Action.Pushlit (v land 0xffff)
+    | _ -> action
+  in
+  { action; op }
 let equal a b = Action.equal a.action b.action && Op.equal a.op b.op
 
 let compare a b =

@@ -8,7 +8,10 @@
 type t = { action : Action.t; op : Op.t }
 
 val make : ?op:Op.t -> Action.t -> t
-(** [make ?op action] defaults [op] to [Op.Nop]. *)
+(** [make ?op action] defaults [op] to [Op.Nop]. A [Pushlit] literal is
+    masked to its low 16 bits — the wire word it will occupy — so that the
+    checked interpreter (which masks on push) and the unchecked engines
+    (which do not) agree on out-of-range literals. *)
 
 val equal : t -> t -> bool
 val compare : t -> t -> int

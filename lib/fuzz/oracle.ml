@@ -1,0 +1,114 @@
+module Packet = Pf_pkt.Packet
+open Pf_filter
+
+type mismatch = { engine : string; detail : string }
+
+type outcome =
+  | Agreement of { accept : bool; bsd_divergent : bool }
+  | Validator_rejected of Validate.error
+  | Disagreement of mismatch list
+
+type extra_engine = string * (Validate.t -> Packet.t -> bool)
+
+let pp_mismatch ppf m = Format.fprintf ppf "[%s] %s" m.engine m.detail
+
+let pp_outcome ppf = function
+  | Agreement { accept; bsd_divergent } ->
+    Format.fprintf ppf "agreement (%s%s)"
+      (if accept then "accept" else "reject")
+      (if bsd_divergent then ", BSD diverges" else "")
+  | Validator_rejected e -> Format.fprintf ppf "validator rejected: %a" Validate.pp_error e
+  | Disagreement ms ->
+    Format.fprintf ppf "@[<v>DISAGREEMENT:%a@]"
+      (fun ppf -> List.iter (Format.fprintf ppf "@,  %a" pp_mismatch))
+      ms
+
+let has_short_circuit program =
+  List.exists (fun (i : Insn.t) -> Op.is_short_circuit i.Insn.op) (Program.insns program)
+
+let check ?(extra = []) program packet =
+  let fails = ref [] in
+  let fail engine detail = fails := { engine; detail } :: !fails in
+  let expect_verdict name reference got =
+    if got <> reference then
+      fail name (Printf.sprintf "expected %b, got %b" reference got)
+  in
+  (* A guarded engine invocation: an OCaml exception escaping any engine is
+     itself a finding, never a fuzzer crash. *)
+  let attempt name f =
+    match f () with
+    | v -> Some v
+    | exception e ->
+      fail name ("raised " ^ Printexc.to_string e);
+      None
+  in
+  match attempt "interp-paper" (fun () -> Interp.run ~semantics:`Paper program packet) with
+  | None -> Disagreement (List.rev !fails)
+  | Some paper ->
+    let reference = paper.Interp.accept in
+    let check name f =
+      Option.iter (expect_verdict name reference) (attempt name f)
+    in
+    (* The documented `Paper/`Bsd boundary: the two published semantics may
+       legitimately disagree only when a short-circuit operator executes
+       without terminating the program (its result word is pushed under
+       `Paper, not under `Bsd — see Interp). A divergence on a program with
+       no short-circuit operator at all is a bug. *)
+    let bsd = attempt "interp-bsd" (fun () -> Interp.run ~semantics:`Bsd program packet) in
+    let bsd_divergent =
+      match bsd with Some o -> o.Interp.accept <> reference | None -> false
+    in
+    if bsd_divergent && not (has_short_circuit program) then
+      fail "interp-bsd" "diverged from `Paper with no short-circuit operator present";
+    (match Validate.check program with
+    | Error _ ->
+      (* The validator-rejection boundary: the compiled engines are only
+         defined on validated programs, so a rejected program is checked on
+         the interpreters alone. *)
+      ()
+    | Ok v ->
+      (* Fast: verdict and instruction count (cost accounting must match the
+         checked interpreter exactly, per table 6-10). *)
+      (match attempt "fast" (fun () -> Fast.run_counted (Fast.compile v) packet) with
+      | None -> ()
+      | Some (accept, executed) ->
+        expect_verdict "fast" reference accept;
+        if executed <> paper.Interp.insns_executed then
+          fail "fast-count"
+            (Printf.sprintf "interp executed %d insns, fast executed %d"
+               paper.Interp.insns_executed executed));
+      check "closure" (fun () -> Closure.run (Closure.compile v) packet);
+      check "decision" (fun () ->
+          Decision.classify (Decision.build [ (v, ()) ]) packet <> None);
+      List.iter (fun (name, engine) -> check name (fun () -> engine v packet)) extra;
+      (* Peephole pre-pass: the optimized program must still validate, must
+         not grow, and must keep the verdict under both the checked and the
+         fast interpreter. *)
+      (match attempt "peephole" (fun () -> Peephole.optimize_with_report program) with
+      | None -> ()
+      | Some (opt, report) ->
+        if report.Peephole.words_after > report.Peephole.words_before then
+          fail "peephole-report"
+            (Printf.sprintf "grew from %d to %d code words" report.Peephole.words_before
+               report.Peephole.words_after);
+        (match Validate.check opt with
+        | Error e ->
+          fail "peephole-validate"
+            (Format.asprintf "optimized program invalid: %a" Validate.pp_error e)
+        | Ok vopt ->
+          check "peephole-interp" (fun () -> Interp.accepts ~semantics:`Paper opt packet);
+          check "peephole-fast" (fun () -> Fast.run (Fast.compile vopt) packet)));
+      (* Wire codec round-trip: encode/decode must be the identity on
+         validated programs, and the decoded program must agree. *)
+      (match Program.decode (Program.encode program) with
+      | Error e ->
+        fail "codec" (Format.asprintf "round-trip decode failed: %a" Program.pp_decode_error e)
+      | Ok decoded ->
+        if not (Program.equal decoded program) then
+          fail "codec" "decoded program differs from the original"
+        else check "codec-interp" (fun () -> Interp.accepts decoded packet)));
+    if !fails <> [] then Disagreement (List.rev !fails)
+    else
+      match Validate.check program with
+      | Error e -> Validator_rejected e
+      | Ok _ -> Agreement { accept = reference; bsd_divergent }

@@ -1,0 +1,111 @@
+module Packet = Pf_pkt.Packet
+open Pf_filter
+
+type failure = {
+  index : int;
+  program : Program.t;
+  packet : Packet.t;
+  mismatches : Oracle.mismatch list;
+  shrunk_program : Program.t;
+  shrunk_packet : Packet.t;
+  shrunk_mismatches : Oracle.mismatch list;
+  repro : string;
+}
+
+type stats = {
+  seed : int;
+  cases : int;
+  valid : int;
+  malformed : int;
+  accepted : int;
+  validator_rejected : int;
+  bsd_divergent : int;
+  failures : failure list;
+}
+
+let repro_command ~seed ~index = Printf.sprintf "pffuzz --seed %d --index %d" seed index
+
+let run_case ?extra ~seed ~index () =
+  let case = Gen.case ~seed ~index in
+  (case, Oracle.check ?extra case.Gen.program case.Gen.packet)
+
+let still_failing ?extra p pkt =
+  match Oracle.check ?extra p pkt with Oracle.Disagreement _ -> true | _ -> false
+
+let shrink_failure ?extra ~seed (case : Gen.case) mismatches =
+  let shrunk_program, shrunk_packet =
+    Shrink.minimize ~keep:(still_failing ?extra) case.Gen.program case.Gen.packet
+  in
+  let shrunk_mismatches =
+    match Oracle.check ?extra shrunk_program shrunk_packet with
+    | Oracle.Disagreement ms -> ms
+    | Oracle.Agreement _ | Oracle.Validator_rejected _ -> []
+  in
+  {
+    index = case.Gen.index;
+    program = case.Gen.program;
+    packet = case.Gen.packet;
+    mismatches;
+    shrunk_program;
+    shrunk_packet;
+    shrunk_mismatches;
+    repro = repro_command ~seed ~index:case.Gen.index;
+  }
+
+let run ?extra ?(max_failures = 5) ?(should_stop = fun () -> false) ?(progress = fun _ -> ())
+    ~seed ~iters () =
+  let valid = ref 0 in
+  let malformed = ref 0 in
+  let accepted = ref 0 in
+  let validator_rejected = ref 0 in
+  let bsd_divergent = ref 0 in
+  let failures = ref [] in
+  let index = ref 0 in
+  while
+    !index < iters && List.length !failures < max_failures && not (should_stop ())
+  do
+    let case = Gen.case ~seed ~index:!index in
+    (match case.Gen.kind with
+    | `Valid -> incr valid
+    | `Malformed -> incr malformed);
+    (match Oracle.check ?extra case.Gen.program case.Gen.packet with
+    | Oracle.Agreement { accept; bsd_divergent = bd } ->
+      if accept then incr accepted;
+      if bd then incr bsd_divergent
+    | Oracle.Validator_rejected _ -> incr validator_rejected
+    | Oracle.Disagreement mismatches ->
+      failures := shrink_failure ?extra ~seed case mismatches :: !failures);
+    incr index;
+    progress !index
+  done;
+  {
+    seed;
+    cases = !index;
+    valid = !valid;
+    malformed = !malformed;
+    accepted = !accepted;
+    validator_rejected = !validator_rejected;
+    bsd_divergent = !bsd_divergent;
+    failures = List.rev !failures;
+  }
+
+let pp_failure ppf f =
+  Format.fprintf ppf
+    "@[<v>case %d:%a@,original: %d insns, %d packet bytes@,shrunk to: %d insns, %d packet \
+     bytes@,@[<v 2>shrunk program:@,%a@]@,shrunk packet: %a@,reproduce: %s@]"
+    f.index
+    (fun ppf -> List.iter (Format.fprintf ppf "@,  %a" Oracle.pp_mismatch))
+    f.mismatches (Program.insn_count f.program) (Packet.length f.packet)
+    (Program.insn_count f.shrunk_program)
+    (Packet.length f.shrunk_packet) Program.pp f.shrunk_program Packet.pp f.shrunk_packet
+    f.repro
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>seed %d: %d cases (%d valid, %d malformed)@,\
+     %d accepted, %d validator-rejected, %d legal `Bsd divergences@,%d disagreement%s%a@]"
+    s.seed s.cases s.valid s.malformed s.accepted s.validator_rejected s.bsd_divergent
+    (List.length s.failures)
+    (if List.length s.failures = 1 then "" else "s")
+    (fun ppf -> List.iter (Format.fprintf ppf "@,@,%a" pp_failure))
+    s.failures

@@ -1,0 +1,52 @@
+(** Bounded differential fuzzing campaigns.
+
+    A campaign is identified by a seed; case [i] of campaign [s] is always
+    the same [(program, packet)] pair, so a failure report reduces to two
+    integers. Any disagreement is shrunk before being reported. *)
+
+type failure = {
+  index : int;  (** campaign index of the failing case *)
+  program : Pf_filter.Program.t;
+  packet : Pf_pkt.Packet.t;
+  mismatches : Oracle.mismatch list;
+  shrunk_program : Pf_filter.Program.t;
+  shrunk_packet : Pf_pkt.Packet.t;
+  shrunk_mismatches : Oracle.mismatch list;
+  repro : string;  (** one-line reproduction command *)
+}
+
+type stats = {
+  seed : int;
+  cases : int;  (** cases actually executed *)
+  valid : int;
+  malformed : int;
+  accepted : int;  (** agreed cases whose verdict was accept *)
+  validator_rejected : int;
+  bsd_divergent : int;  (** legal [`Bsd] departures observed *)
+  failures : failure list;
+}
+
+val repro_command : seed:int -> index:int -> string
+(** ["pffuzz --seed S --index I"]. *)
+
+val run_case :
+  ?extra:Oracle.extra_engine list -> seed:int -> index:int -> unit -> Gen.case * Oracle.outcome
+(** Regenerate and re-check a single case — the replay side of
+    {!repro_command}. *)
+
+val run :
+  ?extra:Oracle.extra_engine list ->
+  ?max_failures:int ->
+  ?should_stop:(unit -> bool) ->
+  ?progress:(int -> unit) ->
+  seed:int ->
+  iters:int ->
+  unit ->
+  stats
+(** Run cases [0 .. iters-1] of campaign [seed], stopping early after
+    [max_failures] (default 5) disagreements or when [should_stop ()] turns
+    true (polled once per case; used for wall-clock-bounded CI campaigns).
+    [progress] is called with the number of cases completed. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,20 @@
+(** Greedy failure minimizer.
+
+    [minimize ~keep program packet] returns the smallest [(program, packet)]
+    pair it can reach for which [keep] still holds, by dropping instructions,
+    simplifying stack actions and operators, shrinking literals and word
+    offsets, zeroing the priority, truncating the packet, and zeroing packet
+    bytes — greedily, to a fixpoint.
+
+    [keep] is typically "the oracle still reports a disagreement"; it is also
+    responsible for any validity requirement (e.g. rejecting candidates the
+    validator would refuse), since the shrinker itself is
+    semantics-agnostic. At most [max_checks] (default 4000) evaluations of
+    [keep] are performed. *)
+
+val minimize :
+  ?max_checks:int ->
+  keep:(Pf_filter.Program.t -> Pf_pkt.Packet.t -> bool) ->
+  Pf_filter.Program.t ->
+  Pf_pkt.Packet.t ->
+  Pf_filter.Program.t * Pf_pkt.Packet.t

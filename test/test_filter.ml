@@ -242,6 +242,36 @@ let test_validate_too_long () =
     | Error (Validate.Program_too_long _) -> true
     | _ -> false)
 
+let test_validate_all_errors_minimal () =
+  (* One minimal program per error constructor, with the exact payload each
+     carries. Program_too_long: 128 Pushlits are 256 code words, one over the
+     255 limit. *)
+  (match Validate.check (Program.v (List.init 128 (fun _ -> Insn.make (Action.Pushlit 1)))) with
+  | Error (Validate.Program_too_long { code_words }) ->
+    Alcotest.(check int) "too_long code words" 256 code_words
+  | _ -> Alcotest.fail "expected Program_too_long");
+  (* Static_underflow: an operator needing two words finds an empty stack. *)
+  (match Validate.check (Program.v [ Insn.make ~op:Op.Eq Action.Nopush ]) with
+  | Error (Validate.Static_underflow { pc; depth }) ->
+    Alcotest.(check (pair int int)) "underflow at pc 0, depth 0" (0, 0) (pc, depth)
+  | _ -> Alcotest.fail "expected Static_underflow");
+  (* Static_overflow: one push more than the 32-word stack holds. *)
+  (match
+     Validate.check
+       (Program.v (List.init (Interp.stack_size + 1) (fun _ -> Insn.make Action.Pushzero)))
+   with
+  | Error (Validate.Static_overflow { pc }) ->
+    Alcotest.(check int) "overflow at the 33rd push" Interp.stack_size pc
+  | _ -> Alcotest.fail "expected Static_overflow");
+  (* Word_offset_unencodable: the first offset past the 10-bit action field. *)
+  (match
+     Validate.check (Program.v [ Insn.make (Action.Pushword (Action.max_word_index + 1)) ])
+   with
+  | Error (Validate.Word_offset_unencodable { pc; index }) ->
+    Alcotest.(check (pair int int)) "unencodable offset" (0, Action.max_word_index + 1)
+      (pc, index)
+  | _ -> Alcotest.fail "expected Word_offset_unencodable")
+
 (* {1 Equivalence properties: interp = fast = closure} *)
 
 let arb_program_packet = Testutil.arb_program_packet
@@ -323,6 +353,8 @@ let suite =
       Alcotest.test_case "validate underflow" `Quick test_validate_catches_underflow;
       Alcotest.test_case "validate min words" `Quick test_validate_min_words;
       Alcotest.test_case "validate length" `Quick test_validate_too_long;
+      Alcotest.test_case "validate all four errors, minimally" `Quick
+        test_validate_all_errors_minimal;
       QCheck_alcotest.to_alcotest prop_fast_equals_interp;
       QCheck_alcotest.to_alcotest prop_closure_equals_interp;
       QCheck_alcotest.to_alcotest prop_program_wire_roundtrip;

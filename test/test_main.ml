@@ -18,4 +18,5 @@ let () =
       Test_loss.suite;
       Test_semantics.suite;
       Test_misc.suite;
+      Test_differential.suite;
     ]

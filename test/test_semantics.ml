@@ -149,6 +149,55 @@ let prop_fast_scratch_reuse_safe =
         a = b
       | _ -> false)
 
+(* {1 The documented `Paper vs `Bsd short-circuit divergence, pinned}
+
+   When a short-circuit operator does {e not} terminate the program, `Paper
+   pushes its result word and `Bsd pushes nothing (see Interp). Three
+   distinct observable consequences exist; one regression program pins
+   each. *)
+
+let run_both insns =
+  let p = Program.v insns in
+  (Interp.run ~semantics:`Paper p (Packet.of_string ""),
+   Interp.run ~semantics:`Bsd p (Packet.of_string ""))
+
+let test_bsd_divergence_leftover_word () =
+  (* Class 1: the pushed result buries an older word; the verdicts read
+     different stack tops. *)
+  let paper, bsd =
+    run_both
+      [ Insn.make Action.Pushzero;
+        Insn.make (Action.Pushlit 5);
+        Insn.make ~op:Op.Cand (Action.Pushlit 5) (* equal: continues *) ]
+  in
+  Alcotest.(check bool) "`Paper reads the CAND result (1): accept" true paper.Interp.accept;
+  Alcotest.(check bool) "`Bsd reads the buried zero: reject" false bsd.Interp.accept
+
+let test_bsd_divergence_empty_stack () =
+  (* Class 2: `Bsd drains the stack entirely, hitting the empty-stack-accepts
+     rule where `Paper leaves a zero on top. *)
+  let paper, bsd =
+    run_both
+      [ Insn.make (Action.Pushlit 5);
+        Insn.make ~op:Op.Cnor (Action.Pushlit 6) (* unequal: continues *) ]
+  in
+  Alcotest.(check bool) "`Paper leaves 0: reject" false paper.Interp.accept;
+  Alcotest.(check bool) "`Bsd leaves nothing: empty stack accepts" true bsd.Interp.accept
+
+let test_bsd_divergence_underflow () =
+  (* Class 3: a later operator relies on the word `Paper pushed; under `Bsd
+     it underflows at run time and rejects with an error. *)
+  let paper, bsd =
+    run_both
+      [ Insn.make (Action.Pushlit 5);
+        Insn.make ~op:Op.Cand (Action.Pushlit 5) (* equal: continues *);
+        Insn.make ~op:Op.And Action.Pushone ]
+  in
+  Alcotest.(check bool) "`Paper: 1 AND 1 accepts" true paper.Interp.accept;
+  Alcotest.(check bool) "`Bsd underflows" true
+    (match bsd.Interp.error with Some (Interp.Stack_underflow _) -> true | _ -> false);
+  Alcotest.(check bool) "`Bsd rejects" false bsd.Interp.accept
+
 let test_empty_program_edge_cases () =
   let empty = Program.empty () in
   Alcotest.(check bool) "empty accepts empty packet" true
@@ -186,6 +235,12 @@ let suite =
       Alcotest.test_case "push actions (fig 3-6)" `Quick test_push_actions_table;
       QCheck_alcotest.to_alcotest prop_simplify_idempotent;
       QCheck_alcotest.to_alcotest prop_bsd_equals_paper_without_shortcircuit;
+      Alcotest.test_case "`Bsd divergence: leftover word" `Quick
+        test_bsd_divergence_leftover_word;
+      Alcotest.test_case "`Bsd divergence: empty-stack accept" `Quick
+        test_bsd_divergence_empty_stack;
+      Alcotest.test_case "`Bsd divergence: run-time underflow" `Quick
+        test_bsd_divergence_underflow;
       QCheck_alcotest.to_alcotest prop_fast_scratch_reuse_safe;
       Alcotest.test_case "empty program edges" `Quick test_empty_program_edge_cases;
       Alcotest.test_case "nop is identity" `Quick test_nop_insn_is_identity;
