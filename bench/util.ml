@@ -109,4 +109,4 @@ let pup_frame_dix ~socket =
 let set_filter_exn port program =
   match Pf_kernel.Pfdev.set_filter port program with
   | Ok () -> ()
-  | Error e -> failwith (Format.asprintf "set_filter: %a" Pf_filter.Validate.pp_error e)
+  | Error e -> failwith (Format.asprintf "set_filter: %a" Pf_kernel.Pfdev.pp_install_error e)

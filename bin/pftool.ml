@@ -31,6 +31,11 @@ let report_validation program =
       (if Program.uses_extensions program then ", uses post-1987 extensions" else "")
   | Error e -> Format.printf "INVALID: %a@." Validate.pp_error e
 
+let report_analysis program =
+  match Validate.check program with
+  | Error _ -> () (* report_validation already printed the error *)
+  | Ok v -> Format.printf "%a@." Analysis.pp (Analysis.analyze v)
+
 let asm_cmd =
   let file = Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc:"Filter source ('-' for stdin).") in
   let run file =
@@ -40,7 +45,8 @@ let asm_cmd =
       (String.concat " " (List.map (Printf.sprintf "%04x") (Program.encode program)));
     Printf.printf "%d instructions, %d code words\n" (Program.insn_count program)
       (Program.code_words program);
-    report_validation program
+    report_validation program;
+    report_analysis program
   in
   Cmd.v (Cmd.info "asm" ~doc:"Assemble a filter and print its wire encoding")
     Term.(const run $ file)
@@ -154,11 +160,91 @@ let examples_cmd =
   let run () =
     Format.printf "# Figure 3-8: Pup packets with 0 < PupType <= 100@.%a@."
       Program.pp Predicates.fig_3_8;
+    report_analysis Predicates.fig_3_8;
     Format.printf "@.# Figure 3-9: Pup DstSocket = 35, short-circuit@.%a@."
-      Program.pp Predicates.fig_3_9
+      Program.pp Predicates.fig_3_9;
+    report_analysis Predicates.fig_3_9
   in
   Cmd.v (Cmd.info "examples" ~doc:"Print the paper's example filters") Term.(const run $ const ())
 
+(* The filters the examples and protocol libraries install, plus the paper's
+   two figures — the corpus `pftool lint --builtin` checks in CI. *)
+let builtin_filters =
+  [ ("fig-3-8", Predicates.fig_3_8);
+    ("fig-3-9", Predicates.fig_3_9);
+    ("accept-all (network monitor)", Predicates.accept_all);
+    ("pup-type-is-1", Predicates.pup_type_is 1);
+    ("pup-dst-socket-35", Predicates.pup_dst_socket 35l);
+    ("pup-dst-port", Predicates.pup_dst_port ~host:2 35l);
+    ("pup-dst-port-10mb", Predicates.pup_dst_port_10mb ~host:2 35l);
+    ("ethertype-ip", Predicates.ethertype_is 0x0800);
+    ("udp-dst-port-53", Predicates.udp_dst_port 53);
+    ("udp-dst-port-any-ihl-53", Predicates.udp_dst_port_any_ihl 53);
+    ("vmtp-dst-entity", Predicates.vmtp_dst_entity 0x1234l);
+    ("rarp-request", Predicates.rarp_request ());
+    ("rarp-reply-for", Predicates.rarp_reply_for "\x08\x00\x2b\x01\x02\x03");
+    ("synthetic-accept-5", Predicates.synthetic ~length:5 ~accept:true)
+  ]
+
+let lint_cmd =
+  let files =
+    Arg.(value & pos_all string [] & info [] ~docv:"FILE" ~doc:"Filter sources to lint.")
+  in
+  let builtin =
+    Arg.(value & flag
+         & info [ "builtin" ]
+             ~doc:"Also lint the built-in filters (the paper's figures and every \
+                   filter the examples install).")
+  in
+  let lint_one (name, program) =
+    Format.printf "== %s ==@." name;
+    let bad =
+      match Validate.check program with
+      | Error e ->
+        Format.printf "INVALID: %a@." Validate.pp_error e;
+        true
+      | Ok v ->
+        let a = Analysis.analyze v in
+        Format.printf "%a@." Analysis.pp a;
+        let faults =
+          match a.Analysis.terminates_at with
+          | Some (_, Analysis.Faults) -> true
+          | _ -> false
+        in
+        if faults then Format.printf "LINT: provably faults on every packet@."
+        else if a.Analysis.verdict = Analysis.Always_reject then
+          Format.printf "LINT: can never accept a packet@.";
+        faults || a.Analysis.verdict = Analysis.Always_reject
+    in
+    Format.printf "@.";
+    bad
+  in
+  let run files builtin =
+    let targets =
+      List.map (fun f -> (f, read_program f)) files
+      @ (if builtin then builtin_filters else [])
+    in
+    if targets = [] then begin
+      Printf.eprintf "pftool: nothing to lint (give FILE arguments or --builtin)\n";
+      exit 2
+    end;
+    let failures = List.length (List.filter lint_one targets) in
+    if failures > 0 then begin
+      Printf.printf "%d of %d filters failed the lint\n" failures (List.length targets);
+      exit 1
+    end;
+    Printf.printf "%d filters linted, all can accept\n" (List.length targets)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Analyze filters and fail on ones that can never accept a packet \
+          (always-reject verdicts and provable runtime faults)")
+    Term.(const run $ files $ builtin)
+
 let () =
   let info = Cmd.info "pftool" ~doc:"Packet filter assembler / disassembler / evaluator" in
-  exit (Cmd.eval (Cmd.group info [ asm_cmd; disasm_cmd; run_cmd; compile_cmd; fields_cmd; examples_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ asm_cmd; disasm_cmd; run_cmd; compile_cmd; fields_cmd; examples_cmd; lint_cmd ]))

@@ -5,11 +5,14 @@ module Packet = Pf_pkt.Packet
    one closure wired directly to its successor. *)
 type step = Packet.t -> int -> int list -> bool
 
-type t = { validated : Validate.t; entry : Packet.t -> bool }
+type t = { validated : Validate.t; analysis : Analysis.t; entry : Packet.t -> bool }
 
 let bool_word b = if b then 1 else 0
 
-let act_step (a : Action.t) (next : step) : step =
+(* [checked:false] builds the chain selected for packets proven long enough
+   (analysis' [safe_packet_words]) that no packet access — constant-offset or
+   indirect — can be out of range, so neither bounds test is compiled in. *)
+let act_step ~checked (a : Action.t) (next : step) : step =
   match a with
   | Action.Nopush -> next
   | Action.Pushlit v -> fun pkt words st -> next pkt words (v :: st)
@@ -19,13 +22,22 @@ let act_step (a : Action.t) (next : step) : step =
   | Action.Pushff00 -> fun pkt words st -> next pkt words (0xff00 :: st)
   | Action.Push00ff -> fun pkt words st -> next pkt words (0x00ff :: st)
   | Action.Pushword i ->
-    fun pkt words st -> if i >= words then false else next pkt words (Packet.word pkt i :: st)
-  | Action.Pushind -> (
-    fun pkt words st ->
-      match st with
-      | index :: rest ->
-        if index >= words then false else next pkt words (Packet.word pkt index :: rest)
-      | [] -> assert false (* ruled out by validation *))
+    if checked then fun pkt words st ->
+      if i >= words then false else next pkt words (Packet.word pkt i :: st)
+    else fun pkt words st -> next pkt words (Packet.word pkt i :: st)
+  | Action.Pushind ->
+    if checked then (
+      fun pkt words st ->
+        match st with
+        | index :: rest ->
+          if index >= words then false
+          else next pkt words (Packet.word pkt index :: rest)
+        | [] -> assert false (* ruled out by validation *))
+    else (
+      fun pkt words st ->
+        match st with
+        | index :: rest -> next pkt words (Packet.word pkt index :: rest)
+        | [] -> assert false)
 
 let op_step (op : Op.t) (next : step) : step =
   match op with
@@ -64,14 +76,23 @@ let op_step (op : Op.t) (next : step) : step =
 let finish : step =
  fun _pkt _words st -> match st with [] -> true | top :: _ -> top <> 0
 
+let build_chain ~checked insns =
+  List.fold_right
+    (fun (insn : Insn.t) next -> act_step ~checked insn.action (op_step insn.op next))
+    insns finish
+
 let compile validated =
   let insns = Program.insns (Validate.program validated) in
-  let chain =
-    List.fold_right
-      (fun (insn : Insn.t) next -> act_step insn.action (op_step insn.op next))
-      insns finish
+  let analysis = Analysis.analyze validated in
+  let checked = build_chain ~checked:true insns in
+  let unchecked = build_chain ~checked:false insns in
+  let safe = analysis.Analysis.safe_packet_words in
+  let entry pkt =
+    let words = Packet.word_count pkt in
+    if words >= safe then unchecked pkt words [] else checked pkt words []
   in
-  { validated; entry = (fun pkt -> chain pkt (Packet.word_count pkt) []) }
+  { validated; analysis; entry }
 
 let program t = Validate.program t.validated
+let analysis t = t.analysis
 let run t pkt = t.entry pkt

@@ -12,5 +12,14 @@
 type t
 
 val compile : Validate.t -> t
+(** Compiles two chains: the usual bounds-checked one, and a fully
+    unchecked one selected when the packet meets the analysis' proven
+    access bound ({!Analysis.t.safe_packet_words}) — the static analysis
+    paying off as deleted instructions, as a compiler would. *)
+
 val program : t -> Program.t
+
+val analysis : t -> Analysis.t
+(** The installation-time analysis computed by {!compile}. *)
+
 val run : t -> Pf_pkt.Packet.t -> bool

@@ -101,12 +101,43 @@ let build filters =
            | 0 -> compare i j
            | c -> c)
   in
+  let compiled =
+    Array.of_list
+      (List.map
+         (fun (_, validated, value) -> (validated, Fast.compile validated, value))
+         ranked)
+  in
+  (* Cost-aware reorder: when two adjacent filters have equal priority and
+     the analysis proves their accept sets disjoint, at most one of them can
+     accept any packet — so their relative order cannot change the verdict,
+     and running the cheaper one first (by the analysis cost bound) lowers
+     the expected demux cost. Restricting swaps to proven-disjoint
+     equal-priority neighbours keeps first-match semantics exactly. *)
+  let n = Array.length compiled in
+  let swapped = ref true in
+  while !swapped do
+    swapped := false;
+    for i = 0 to n - 2 do
+      let (va, fa, _) = compiled.(i) and (vb, fb, _) = compiled.(i + 1) in
+      if
+        Program.priority (Validate.program va)
+        = Program.priority (Validate.program vb)
+        && (Fast.analysis fa).Analysis.cost_bound
+           > (Fast.analysis fb).Analysis.cost_bound
+        && Analysis.relate va vb = Analysis.Disjoint
+      then begin
+        let tmp = compiled.(i) in
+        compiled.(i) <- compiled.(i + 1);
+        compiled.(i + 1) <- tmp;
+        swapped := true
+      end
+    done
+  done;
   let entries =
     List.mapi
-      (fun rank (_, validated, value) ->
-        let fast = Fast.compile validated in
+      (fun rank (validated, fast, value) ->
         ({ rank; fast; value }, guard_chain (Validate.program validated)))
-      ranked
+      (Array.to_list compiled)
   in
   { root = build_node entries; count = List.length filters }
 

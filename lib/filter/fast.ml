@@ -2,6 +2,7 @@ module Packet = Pf_pkt.Packet
 
 type t = {
   validated : Validate.t;
+  analysis : Analysis.t;
   insns : Insn.t array;
   stack : int array;
       (* Scratch stack reused across runs; safe because filters are applied
@@ -10,12 +11,17 @@ type t = {
 
 let compile validated =
   { validated;
+    analysis = Analysis.analyze validated;
     insns = Array.of_list (Program.insns (Validate.program validated));
     stack = Array.make Interp.stack_size 0;
   }
 
 let program t = Validate.program t.validated
 let priority t = Program.priority (program t)
+let analysis t = t.analysis
+
+let runs_checkless t packet =
+  Packet.word_count packet >= t.analysis.Analysis.safe_packet_words
 
 exception Done of bool * int
 
@@ -28,6 +34,11 @@ let run_counted t packet =
      reached, so such packets keep a cheap per-push check to stay exactly
      equivalent to the checked interpreter. *)
   let need_check = words < t.validated.Validate.min_packet_words in
+  (* Indirect pushes normally stay dynamically checked (the index comes off
+     the stack), but when the packet meets the analysis' proven bound on
+     every access — constant or data-flow-derived — even those checks are
+     skipped and the whole run is checkless. *)
+  let need_ind_check = words < t.analysis.Analysis.safe_packet_words in
   begin
     let stack = t.stack in
     let sp = ref 0 in
@@ -60,10 +71,8 @@ let run_counted t packet =
           stack.(!sp) <- Packet.word packet i;
           incr sp
         | Action.Pushind ->
-          (* The only dynamically-checked access: the index comes off the
-             stack, so validation cannot bound it. *)
           let index = stack.(!sp - 1) in
-          if index >= words then raise (Done (false, pc + 1));
+          if need_ind_check && index >= words then raise (Done (false, pc + 1));
           stack.(!sp - 1) <- Packet.word packet index);
         match insn.Insn.op with
         | Op.Nop -> ()

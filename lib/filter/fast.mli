@@ -11,8 +11,19 @@
 type t
 
 val compile : Validate.t -> t
+(** Also runs {!Analysis.analyze}; its proven access bound lets runs on
+    long-enough packets skip the [Pushind] dynamic check too. *)
+
 val program : t -> Program.t
 val priority : t -> int
+
+val analysis : t -> Analysis.t
+(** The installation-time analysis computed by {!compile}. *)
+
+val runs_checkless : t -> Pf_pkt.Packet.t -> bool
+(** True when a run on this packet performs {e zero} dynamic checks — the
+    packet meets {!Analysis.t.safe_packet_words}, covering constant-offset
+    and indirect accesses alike. *)
 
 val run : t -> Pf_pkt.Packet.t -> bool
 

@@ -122,6 +122,22 @@ let pass insns =
   done;
   (!out, !changed)
 
+(* Analysis-driven dead-code elimination. The interval analysis decides
+   short-circuit outcomes the constant folder cannot see (comparison results,
+   masked ranges, short-packet-only operands): when it proves every execution
+   reaching instruction [pc] terminates there, the tail never runs and is
+   dropped. The surviving prefix is untouched, so verdicts — including faults
+   inside the prefix — are preserved on every packet. *)
+let truncate_dead program =
+  match Validate.check program with
+  | Error _ -> program (* invalid: leave it alone, like [pass] *)
+  | Ok validated -> (
+    match Analysis.dead_after (Analysis.analyze validated) with
+    | None -> program
+    | Some pc ->
+      let insns = List.filteri (fun i _ -> i <= pc) (Program.insns program) in
+      Program.v ~priority:(Program.priority program) insns)
+
 let optimize program =
   let rec fixpoint insns iterations =
     if iterations = 0 then insns
@@ -130,7 +146,9 @@ let optimize program =
       if changed then fixpoint insns' (iterations - 1) else insns'
     end
   in
-  Program.v ~priority:(Program.priority program) (fixpoint (Program.insns program) 8)
+  truncate_dead
+    (Program.v ~priority:(Program.priority program)
+       (fixpoint (Program.insns program) 8))
 
 type report = {
   insns_before : int;

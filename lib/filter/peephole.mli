@@ -14,7 +14,12 @@
       subexpressions collapse);
     - a short-circuit operator with a statically known outcome truncates the
       rest of the program when the surviving prefix provably cannot fault or
-      exit first (conservatively: when it is empty).
+      exit first (conservatively: when it is empty);
+    - after the folding fixpoint, {!Analysis} runs over the result and any
+      code past a proven always-terminating instruction ({!Analysis.dead_after})
+      is dropped — this catches outcomes intervals decide but constants
+      cannot, e.g. a [CAND] fed by a comparison result against 2, or operands
+      with provably disjoint ranges.
 
     [optimize] preserves the checked interpreter's verdict on {e every}
     packet — including short ones and runtime faults — and never increases

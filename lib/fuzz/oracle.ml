@@ -78,6 +78,51 @@ let check ?(extra = []) program packet =
             (Printf.sprintf "interp executed %d insns, fast executed %d"
                paper.Interp.insns_executed executed));
       check "closure" (fun () -> Closure.run (Closure.compile v) packet);
+      (* Static analysis: every fact the abstract interpreter claims must be
+         consistent with this concrete run of the checked interpreter. A
+         violation here means the analysis is unsound — exactly what the
+         seeded interval mutant demonstrates. *)
+      (match attempt "analysis" (fun () -> Analysis.analyze v) with
+      | None -> ()
+      | Some a ->
+        (match (a.Analysis.verdict, reference) with
+        | Analysis.Always_accept, false ->
+          fail "analysis-verdict" "claimed Always_accept but the packet was rejected"
+        | Analysis.Always_reject, true ->
+          fail "analysis-verdict" "claimed Always_reject but the packet was accepted"
+        | _ -> ());
+        (match (a.Analysis.div_by_zero, paper.Interp.error) with
+        | Analysis.Impossible, Some (Interp.Division_by_zero pc) ->
+          fail "analysis-div"
+            (Printf.sprintf "claimed division by zero impossible; pc %d divided by zero" pc)
+        | _ -> ());
+        let words = Packet.word_count packet in
+        (match paper.Interp.error with
+        | Some (Interp.Bad_word_offset { pc; index })
+          when words >= a.Analysis.safe_packet_words ->
+          fail "analysis-bounds"
+            (Printf.sprintf
+               "claimed packets of >= %d words fault no access; pc %d faulted on index %d of %d words"
+               a.Analysis.safe_packet_words pc index words)
+        | _ -> ());
+        if reference && words < a.Analysis.min_packet_words then
+          fail "analysis-minwords"
+            (Printf.sprintf
+               "claimed packets under %d words are rejected; a %d-word packet was accepted"
+               a.Analysis.min_packet_words words);
+        if paper.Interp.insns_executed > a.Analysis.max_insns then
+          fail "analysis-insns"
+            (Printf.sprintf "claimed at most %d instructions; the run executed %d"
+               a.Analysis.max_insns paper.Interp.insns_executed);
+        let run_cost = Analysis.cost_of_prefix program paper.Interp.insns_executed in
+        if run_cost > a.Analysis.cost_bound then
+          fail "analysis-cost"
+            (Printf.sprintf "claimed cost bound %d; the run cost %d"
+               a.Analysis.cost_bound run_cost);
+        (* A filter that accepts this packet shares it with itself, so its
+           self-relation can never soundly be Disjoint. *)
+        if reference && Analysis.relate v v = Analysis.Disjoint then
+          fail "analysis-relate" "relate f f = Disjoint for an accepting filter");
       check "decision" (fun () ->
           Decision.classify (Decision.build [ (v, ()) ]) packet <> None);
       List.iter (fun (name, engine) -> check name (fun () -> engine v packet)) extra;

@@ -7,6 +7,10 @@
     - the unchecked {!Pf_filter.Fast} interpreter (verdict {e and}
       instruction count),
     - the {!Pf_filter.Closure} compiler,
+    - the {!Pf_filter.Analysis} abstract interpreter, whose claims (verdict
+      summary, division-fault impossibility, the safe/minimum packet-word
+      bounds, instruction and cost bounds, self-relation) must all be
+      consistent with the concrete run,
     - a single-filter {!Pf_filter.Decision} tree,
     - the {!Pf_filter.Peephole} pre-pass followed by the checked and fast
       interpreters, and

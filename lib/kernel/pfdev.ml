@@ -19,6 +19,7 @@ type port = {
   id : int;
   mutable filter : Pf_filter.Fast.t option;
   mutable validated : Pf_filter.Validate.t option;
+  mutable analysis : Pf_filter.Analysis.t option;
   mutable priority : int;
   mutable timeout : Pf_sim.Time.t option;
   mutable queue_limit : int;
@@ -47,6 +48,7 @@ and t = {
   mutable demuxed_since_reorder : int;
   mutable strategy : [ `Sequential | `Decision_tree ];
   mutable tree : port Pf_filter.Decision.t option; (* cache; None = dirty *)
+  mutable cost_limit : int option; (* admission bound on a filter's cost_bound *)
 }
 
 let create engine cpu costs stats ~variant ~address ~send =
@@ -63,6 +65,7 @@ let create engine cpu costs stats ~variant ~address ~send =
     demuxed_since_reorder = 0;
     strategy = `Sequential;
     tree = None;
+    cost_limit = None;
   }
 
 (* Stable order: decreasing priority, then open order. The occasional
@@ -100,6 +103,7 @@ let open_port t =
       id = t.next_id;
       filter = None;
       validated = None;
+      analysis = None;
       priority = 0;
       timeout = None;
       queue_limit = 32;
@@ -126,18 +130,49 @@ let close_port port =
   (* Wake any blocked readers; they will notice the port is closed. *)
   ignore (Condition.broadcast port.cond () : int)
 
-let set_filter port program =
+type install_error =
+  | Invalid of Pf_filter.Validate.error
+  | Cost_limit_exceeded of { bound : int; limit : int }
+
+let pp_install_error ppf = function
+  | Invalid e -> Pf_filter.Validate.pp_error ppf e
+  | Cost_limit_exceeded { bound; limit } ->
+    Format.fprintf ppf
+      "filter cost bound %d exceeds the device admission limit %d" bound limit
+
+let set_cost_limit t limit = t.cost_limit <- limit
+
+(* Installation = validation + abstract interpretation. The analysis result
+   is recorded on the port: its cost bound gates admission (a filter the
+   device provably cannot afford per packet is refused up front, not
+   throttled later), and its verdict/relations feed the status surface. *)
+let install port program =
   match Pf_filter.Validate.check program with
-  | Error _ as e -> e
-  | Ok validated ->
+  | Error e -> Error (Invalid e)
+  | Ok validated -> (
     let t = port.dev in
-    (* "at a cost comparable to that of receiving a packet" (§3.1) *)
-    charge (t.costs.Costs.syscall + Costs.copy_cost t.costs ~bytes:(2 * Pf_filter.Program.code_words program) + t.costs.Costs.recv_interrupt);
-    port.filter <- Some (Pf_filter.Fast.compile validated);
-    port.validated <- Some validated;
-    port.priority <- Pf_filter.Program.priority program;
-    sort_ports t;
-    Ok ()
+    let fast = Pf_filter.Fast.compile validated in
+    let analysis = Pf_filter.Fast.analysis fast in
+    match t.cost_limit with
+    | Some limit when analysis.Pf_filter.Analysis.cost_bound > limit ->
+      Error
+        (Cost_limit_exceeded
+           { bound = analysis.Pf_filter.Analysis.cost_bound; limit })
+    | _ ->
+      (* "at a cost comparable to that of receiving a packet" (§3.1) *)
+      charge (t.costs.Costs.syscall + Costs.copy_cost t.costs ~bytes:(2 * Pf_filter.Program.code_words program) + t.costs.Costs.recv_interrupt);
+      port.filter <- Some fast;
+      port.validated <- Some validated;
+      port.analysis <- Some analysis;
+      port.priority <- Pf_filter.Program.priority program;
+      sort_ports t;
+      Ok analysis)
+
+let set_filter port program =
+  match install port program with Ok _ -> Ok () | Error _ as e -> e
+
+let port_analysis port = port.analysis
+let port_id port = port.id
 
 let set_strategy t strategy =
   t.strategy <- strategy;
@@ -375,3 +410,43 @@ let status (t : t) =
   }
 
 let active_ports t = List.length (List.filter (fun p -> p.filter <> None) t.ports)
+
+(* Installed-filter relations, the pseudodevice's analysis status surface:
+   which filters can never both accept (safe to reorder within a priority),
+   and which ports are dead weight because a higher-priority filter already
+   accepts everything they would (and, not being copy-all, consumes it). *)
+
+let filtered_ports t =
+  List.filter_map
+    (fun p ->
+      match p.validated with
+      | Some v when p.is_open -> Some (p, v)
+      | Some _ | None -> None)
+    t.ports
+
+let filter_relations t =
+  let rec pairs = function
+    | [] -> []
+    | (p, v) :: rest ->
+      List.map (fun (q, w) -> (p.id, q.id, Pf_filter.Analysis.relate v w)) rest
+      @ pairs rest
+  in
+  pairs (filtered_ports t)
+
+let shadowed_ports t =
+  let active = filtered_ports t in
+  List.filter_map
+    (fun (p, v) ->
+      let shadow =
+        List.find_opt
+          (fun (q, w) ->
+            q.priority > p.priority
+            && (not q.copy_all)
+            &&
+            match Pf_filter.Analysis.relate w v with
+            | Pf_filter.Analysis.Subsumes | Pf_filter.Analysis.Equivalent -> true
+            | _ -> false)
+          active
+      in
+      Option.map (fun (q, _) -> (p, q)) shadow)
+    active

@@ -34,9 +34,33 @@ val open_port : t -> port
 
 val close_port : port -> unit
 
-val set_filter : port -> Pf_filter.Program.t -> (unit, Pf_filter.Validate.error) result
-(** Validates ahead of time (section 7) and installs; charges a cost
-    "comparable to that of receiving a packet" (section 3.1). *)
+type install_error =
+  | Invalid of Pf_filter.Validate.error
+  | Cost_limit_exceeded of { bound : int; limit : int }
+      (** The filter's worst-case {!Pf_filter.Analysis.t.cost_bound} exceeds
+          the device's admission limit ({!set_cost_limit}). *)
+
+val pp_install_error : Format.formatter -> install_error -> unit
+
+val install : port -> Pf_filter.Program.t -> (Pf_filter.Analysis.t, install_error) result
+(** Validates ahead of time (section 7), runs the installation-time abstract
+    interpretation ({!Pf_filter.Analysis}), applies cost-bound admission
+    control, and installs; charges a cost "comparable to that of receiving a
+    packet" (section 3.1). Returns the recorded analysis. *)
+
+val set_filter : port -> Pf_filter.Program.t -> (unit, install_error) result
+(** [install] without the analysis result. *)
+
+val set_cost_limit : t -> int option -> unit
+(** Admission control: refuse filters whose worst-case cost bound (abstract
+    cycles per packet) exceeds the limit. Default [None] (no limit); does not
+    re-examine already-installed filters. *)
+
+val port_analysis : port -> Pf_filter.Analysis.t option
+(** Analysis of the installed filter, recorded at installation time. *)
+
+val port_id : port -> int
+(** Stable identifier, for correlating {!filter_relations} output. *)
 
 val set_strategy : t -> [ `Sequential | `Decision_tree ] -> unit
 (** Demultiplexing strategy. [`Sequential] (the default) applies filters in
@@ -119,3 +143,14 @@ type status = {
 
 val status : t -> status
 val active_ports : t -> int
+
+val filter_relations : t -> (int * int * Pf_filter.Analysis.relation) list
+(** Pairwise {!Pf_filter.Analysis.relate} over every open port with an
+    installed filter, as [(port_id_a, port_id_b, relate a b)] — the
+    subsumption/disjointness map the pseudodevice surfaces to operators. *)
+
+val shadowed_ports : t -> (port * port) list
+(** [(shadowed, by)] pairs: [shadowed]'s filter is proven subsumed by (or
+    equivalent to) a strictly-higher-priority port's filter that is not
+    copy-all, so [shadowed] can never receive a packet — almost certainly a
+    configuration mistake. *)

@@ -17,7 +17,7 @@ let start host ?(batch = false) ?(filter = Pf_filter.Predicates.accept_all)
   (match Pfdev.set_filter port filter with
   | Ok () -> ()
   | Error e ->
-    invalid_arg (Format.asprintf "Userdemux.start: %a" Pf_filter.Validate.pp_error e));
+    invalid_arg (Format.asprintf "Userdemux.start: %a" Pfdev.pp_install_error e));
   let rec t = lazy { host; pipes; port; proc = Lazy.force proc; running = true; forwarded = 0 }
   and proc =
     lazy

@@ -23,7 +23,7 @@ let start ?(filter = Pf_filter.Predicates.accept_all) ?(promiscuous = true)
   (match Pfdev.set_filter port filter with
   | Ok () -> ()
   | Error e ->
-    invalid_arg (Format.asprintf "Capture.start: %a" Pf_filter.Validate.pp_error e));
+    invalid_arg (Format.asprintf "Capture.start: %a" Pfdev.pp_install_error e));
   Pfdev.set_tap port true;
   Pfdev.set_copy_all port true;
   Pfdev.set_timestamps port true;

@@ -55,7 +55,7 @@ let open_pid_port host pid =
   let port = Pfdev.open_port (Host.pf host) in
   (match Pfdev.set_filter port (pid_filter pid) with
   | Ok () -> ()
-  | Error e -> invalid_arg (Format.asprintf "Ikp: %a" Pf_filter.Validate.pp_error e));
+  | Error e -> invalid_arg (Format.asprintf "Ikp: %a" Pfdev.pp_install_error e));
   port
 
 type server = {

@@ -97,7 +97,7 @@ let start host ~interfaces ?(routes = []) () =
         (match Pfdev.set_filter port (transit_filter variant ~local_net:net) with
         | Ok () -> ()
         | Error e ->
-          invalid_arg (Format.asprintf "Pup_gateway: %a" Pf_filter.Validate.pp_error e));
+          invalid_arg (Format.asprintf "Pup_gateway: %a" Pfdev.pp_install_error e));
         Pfdev.set_queue_limit port 64;
         { net; nic; port })
       interfaces

@@ -48,7 +48,7 @@ let create ?(priority = 0) ?(checksum = false) ?(net = 0) host ~socket =
   (match Pfdev.set_filter port filter with
   | Ok () -> ()
   | Error e ->
-    invalid_arg (Format.asprintf "Pup_socket.create: %a" Pf_filter.Validate.pp_error e));
+    invalid_arg (Format.asprintf "Pup_socket.create: %a" Pfdev.pp_install_error e));
   { host; socket; port; host_number; net; variant; checksum; routes = Hashtbl.create 4 }
 
 let host t = t.host

@@ -32,7 +32,7 @@ let server host ~table =
   let port = Pfdev.open_port (Host.pf host) in
   (match Pfdev.set_filter port (Pf_filter.Predicates.rarp_request ()) with
   | Ok () -> ()
-  | Error e -> invalid_arg (Format.asprintf "Rarp.server: %a" Pf_filter.Validate.pp_error e));
+  | Error e -> invalid_arg (Format.asprintf "Rarp.server: %a" Pfdev.pp_install_error e));
   let my_mac = mac_of host in
   let my_ip = Option.value ~default:0l (List.assoc_opt my_mac table) in
   let srv = ref None in
@@ -75,7 +75,7 @@ let whoami ?(timeout = 500_000) ?(retries = 4) host =
   let port = Pfdev.open_port (Host.pf host) in
   (match Pfdev.set_filter port (Pf_filter.Predicates.rarp_reply_for my_mac) with
   | Ok () -> ()
-  | Error e -> invalid_arg (Format.asprintf "Rarp.whoami: %a" Pf_filter.Validate.pp_error e));
+  | Error e -> invalid_arg (Format.asprintf "Rarp.whoami: %a" Pfdev.pp_install_error e));
   Pfdev.set_timeout port (Some timeout);
   let rec attempt tries =
     if tries > retries then None

@@ -202,7 +202,7 @@ let user_server host ~batch ~overhead ~entity ~handler =
   (match Pfdev.set_filter port (Pf_filter.Predicates.vmtp_dst_entity entity) with
   | Ok () -> ()
   | Error e ->
-    invalid_arg (Format.asprintf "Vmtp.server: %a" Pf_filter.Validate.pp_error e));
+    invalid_arg (Format.asprintf "Vmtp.server: %a" Pfdev.pp_install_error e));
   let c = Host.costs host in
   let reply_cache : (int32, int * Packet.t list) Hashtbl.t = Hashtbl.create 8 in
   let srv = ref None in
@@ -335,7 +335,7 @@ let client ?(user_overhead = default_user_overhead) host impl ~entity =
     (match Pfdev.set_filter port (Pf_filter.Predicates.vmtp_dst_entity entity) with
     | Ok () -> ()
     | Error e ->
-      invalid_arg (Format.asprintf "Vmtp.client: %a" Pf_filter.Validate.pp_error e));
+      invalid_arg (Format.asprintf "Vmtp.client: %a" Pfdev.pp_install_error e));
     { chost = host; centity = entity; cimpl = impl; coverhead = user_overhead;
       next_tid = 1; cport = Some port; kslot = None }
   | Kernel ->

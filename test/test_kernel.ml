@@ -17,7 +17,7 @@ let mk_world ?(costs = Pf_sim.Costs.free) ?(rate = 3.) () =
 let set_filter_exn port program =
   match Pfdev.set_filter port program with
   | Ok () -> ()
-  | Error e -> Alcotest.fail (Format.asprintf "%a" Pf_filter.Validate.pp_error e)
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Pfdev.pp_install_error e)
 
 let socket_filter ?(priority = 0) s =
   Pf_filter.Predicates.pup_dst_socket ~priority (Int32.of_int s)

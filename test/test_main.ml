@@ -19,4 +19,5 @@ let () =
       Test_semantics.suite;
       Test_misc.suite;
       Test_differential.suite;
+      Test_analysis.suite;
     ]
