@@ -4,7 +4,9 @@
 
    Usage:  dune exec bench/main.exe              (everything)
            dune exec bench/main.exe -- send vmtp (selected experiments)
-           dune exec bench/main.exe -- --list *)
+           dune exec bench/main.exe -- --list
+           dune exec bench/main.exe -- --json [names]
+                                     (also write metrics to BENCH_demux.json) *)
 
 let experiments =
   [
@@ -14,13 +16,18 @@ let experiments =
     ("stream", "Table 6-6 BSP vs TCP byte streams (+FTP)", Exp_stream.run);
     ("telnet", "Table 6-7 Telnet output rates", Exp_telnet.run);
     ("demux", "Tables 6-8..6-10 demultiplexing and filter costs", Exp_demux.run);
+    ("cache", "Demux flow cache on a skewed traffic mix", Exp_cache.run);
     ("figures", "Figures 2-1/2-2, 2-3, 3-4/3-5 cost decompositions", Exp_figures.run);
     ("ablation", "Design ablations + Bechamel microbenchmarks", Exp_ablation.run);
   ]
 
+let json_path = "BENCH_demux.json"
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
+  let json = List.mem "--json" args in
+  let args = List.filter (fun a -> a <> "--json") args in
+  (match args with
   | [ "--list" ] ->
     List.iter (fun (name, descr, _) -> Printf.printf "%-10s %s\n" name descr) experiments
   | [] ->
@@ -39,4 +46,5 @@ let () =
         | None ->
           Printf.eprintf "unknown experiment %S (try --list)\n" name;
           exit 1)
-      names
+      names);
+  if json then Util.write_json json_path

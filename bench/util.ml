@@ -110,3 +110,23 @@ let set_filter_exn port program =
   match Pf_kernel.Pfdev.set_filter port program with
   | Ok () -> ()
   | Error e -> failwith (Format.asprintf "set_filter: %a" Pf_kernel.Pfdev.pp_install_error e)
+
+(* {1 Machine-readable results}
+
+   Experiments record flat metric/value pairs here; `main --json` dumps the
+   accumulated registry to BENCH_demux.json for the CI artifact. *)
+
+let json_metrics : (string * float) list ref = ref []
+let record_metric name value = json_metrics := (name, value) :: !json_metrics
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc "{\n";
+  let rows = List.rev !json_metrics in
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (k, v) -> Printf.fprintf oc "  %S: %.6f%s\n" k v (if i = last then "" else ","))
+    rows;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "\nwrote %d metrics to %s\n" (List.length rows) path

@@ -119,9 +119,11 @@ let run filter_file expr duration_ms seed quiet write_file read_file flows =
     Engine.run ~until:(duration_ms * 1000) engine;
     let trace = Pf_monitor.Capture.stop capture in
     Engine.run engine;
-    Printf.printf "pfmon: %d frames captured in %dms of simulated traffic (%d lost)\n\n"
+    Printf.printf "pfmon: %d frames captured in %dms of simulated traffic (%d lost)\n"
       (List.length trace) duration_ms
       (Pf_monitor.Capture.drops capture);
+    Format.printf "pfmon: %a@.@." Pf_kernel.Pfdev.pp_cache_stats
+      (Pf_kernel.Pfdev.cache_stats (Host.pf watcher));
     (match write_file with
     | Some path ->
       Pf_monitor.Tracefile.write_file path Pf_net.Frame.Dix10 trace;

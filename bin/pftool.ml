@@ -242,9 +242,63 @@ let lint_cmd =
           (always-reject verdicts and provable runtime faults)")
     Term.(const run $ files $ builtin)
 
+let cache_cmd =
+  let files =
+    Arg.(value & pos_all string [] & info [] ~docv:"FILE" ~doc:"Filter sources to analyze.")
+  in
+  let builtin =
+    Arg.(value & flag
+         & info [ "builtin" ]
+             ~doc:"Also analyze the built-in filters (the paper's figures and every \
+                   filter the examples install).")
+  in
+  let run files builtin =
+    let targets =
+      List.map (fun f -> (f, read_program f)) files
+      @ (if builtin then builtin_filters else [])
+    in
+    if targets = [] then begin
+      Printf.eprintf "pftool: nothing to analyze (give FILE arguments or --builtin)\n";
+      exit 2
+    end;
+    (* Per filter: the packet words it reads, i.e. the bytes the kernel's
+       demux flow cache would have to key on to memoize its verdict. *)
+    let union =
+      List.fold_left
+        (fun acc (name, program) ->
+          match Validate.check program with
+          | Error e ->
+            Format.printf "%-28s INVALID: %a@." name Validate.pp_error e;
+            acc
+          | Ok v ->
+            let rs = (Analysis.analyze v).Analysis.read_set in
+            Format.printf "%-28s %a@." name Analysis.pp_read_set rs;
+            Analysis.union_read_sets acc rs)
+        (Analysis.Exact []) targets
+    in
+    Format.printf "@.union over all %d filters: %a@." (List.length targets)
+      Analysis.pp_read_set union;
+    match union with
+    | Analysis.Exact idxs ->
+      Format.printf "cacheable: the flow cache keys on %d packet word(s)@."
+        (List.length idxs)
+    | Analysis.Unbounded ->
+      Format.printf
+        "NOT cacheable: an unbounded read set (data-dependent indirect push) \
+         forces the kernel to bypass the flow cache@."
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Show each filter's read set and whether a device installing these \
+          filters gets the demultiplexing flow cache (an unbounded read set \
+          disables it)")
+    Term.(const run $ files $ builtin)
+
 let () =
   let info = Cmd.info "pftool" ~doc:"Packet filter assembler / disassembler / evaluator" in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ asm_cmd; disasm_cmd; run_cmd; compile_cmd; fields_cmd; examples_cmd; lint_cmd ]))
+          [ asm_cmd; disasm_cmd; run_cmd; compile_cmd; fields_cmd; examples_cmd; lint_cmd;
+            cache_cmd ]))

@@ -154,6 +154,7 @@ let cost_of_prefix program k =
 type verdict = Always_accept | Always_reject | Depends_on_packet
 type fault = Impossible | Possible
 type termination = Accepts | Rejects | Faults
+type read_set = Exact of int list | Unbounded
 
 type t = {
   program : Program.t;
@@ -165,7 +166,15 @@ type t = {
   terminates_at : (int * termination) option;
   max_insns : int;
   cost_bound : int;
+  read_set : read_set;
 }
+
+let sort_dedup idxs = List.sort_uniq compare idxs
+
+let union_read_sets a b =
+  match (a, b) with
+  | Unbounded, _ | _, Unbounded -> Unbounded
+  | Exact xs, Exact ys -> Exact (sort_dedup (xs @ ys))
 
 let analyze (validated : Validate.t) =
   let program = Validate.program validated in
@@ -187,6 +196,15 @@ let analyze (validated : Validate.t) =
   let may_reject = ref false in
   let div_fault = ref Impossible in
   let ind_bound = ref None in
+  (* Word indices the verdict can depend on. Constant-offset pushes (and
+     indirect pushes whose index interval is a singleton, i.e. provably the
+     same for every packet) contribute exactly one index; an indirect push
+     whose index genuinely depends on packet data makes the set unbounded.
+     Only reachable instructions contribute: reads past a proven early exit
+     never execute. The set is an over-approximation of any concrete run's
+     reads, which is the sound direction for flow-cache keying. *)
+  let reads = ref [] in
+  let reads_unbounded = ref false in
   let safe = ref 0 in
   let minw = ref 0 in
   let terminated = ref None in
@@ -216,10 +234,14 @@ let analyze (validated : Validate.t) =
        | Action.Pushff00 -> push (Interval.const 0xff00)
        | Action.Push00ff -> push (Interval.const 0x00ff)
        | Action.Pushword i ->
+         reads := i :: !reads;
          access ~need_min:(i + 1) ~need_max:(i + 1);
          push Interval.top
        | Action.Pushind ->
          let idx = pop () in
+         (match Interval.is_const idx with
+         | Some c -> reads := c :: !reads
+         | None -> reads_unbounded := true);
          let bound = idx.Interval.hi + 1 in
          ind_bound :=
            Some (match !ind_bound with None -> bound | Some b -> max b bound);
@@ -317,6 +339,8 @@ let analyze (validated : Validate.t) =
     terminates_at = !terminated;
     max_insns;
     cost_bound;
+    read_set =
+      (if !reads_unbounded then Unbounded else Exact (sort_dedup !reads));
   }
 
 let dead_after t =
@@ -334,6 +358,13 @@ let pp_verdict ppf = function
 let pp_fault ppf = function
   | Impossible -> Format.pp_print_string ppf "impossible"
   | Possible -> Format.pp_print_string ppf "possible"
+
+let pp_read_set ppf = function
+  | Unbounded -> Format.pp_print_string ppf "unbounded (data-dependent indirect push)"
+  | Exact [] -> Format.pp_print_string ppf "empty (verdict ignores packet contents)"
+  | Exact idxs ->
+    Format.fprintf ppf "words {%s}"
+      (String.concat ", " (List.map string_of_int idxs))
 
 let pp_termination ppf = function
   | Accepts -> Format.pp_print_string ppf "accepting"
@@ -353,6 +384,7 @@ let pp ppf t =
   Format.fprintf ppf
     "@,packet bounds: checkless at >= %d words; certain reject below %d words"
     t.safe_packet_words t.min_packet_words;
+  Format.fprintf ppf "@,read set: %a" pp_read_set t.read_set;
   (match dead_after t with
   | None -> ()
   | Some pc ->

@@ -69,6 +69,16 @@ type fault = Impossible | Possible
 
 type termination = Accepts | Rejects | Faults
 
+type read_set = Exact of int list | Unbounded
+(** The packet word indices a filter's verdict can depend on. [Exact idxs]
+    (sorted, duplicate-free) is a proof: two packets that agree on every
+    word in [idxs] — including on which of those words exist at all — get
+    the same verdict, whatever their other contents. Constant-offset pushes
+    and indirect pushes with a provably constant index keep the set exact;
+    a data-dependent [Pushind] index makes it [Unbounded]. The kernel's
+    demultiplexing flow cache ({!Pf_kernel.Pfdev}) keys on the union read
+    set of the installed filters and is bypassed when any is [Unbounded]. *)
+
 type t = private {
   program : Program.t;
   verdict : verdict;
@@ -103,7 +113,14 @@ type t = private {
       (** Worst-case cost in abstract cycles: the sum of {!insn_cost} over
           every reachable instruction. An upper bound on the cost of any
           run ({!cost_of_prefix} of the executed prefix). *)
+  read_set : read_set;
+      (** See {!read_set}. Only reachable instructions contribute; the
+          fuzz oracle cross-checks that mutating any word outside an
+          [Exact] read set never changes the verdict. *)
 }
+
+val union_read_sets : read_set -> read_set -> read_set
+(** Union; [Unbounded] absorbs. *)
 
 val analyze : Validate.t -> t
 (** Requires a validated program (exact stack shape); runs in one linear
@@ -115,6 +132,7 @@ val dead_after : t -> int option
 
 val pp_verdict : Format.formatter -> verdict -> unit
 val pp_fault : Format.formatter -> fault -> unit
+val pp_read_set : Format.formatter -> read_set -> unit
 val pp : Format.formatter -> t -> unit
 (** Multi-line lint-style report. *)
 

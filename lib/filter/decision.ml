@@ -42,7 +42,7 @@ type 'a node = {
 
 and 'a branch = { offset : int; cases : (int, 'a node) Hashtbl.t }
 
-type 'a t = { root : 'a node; count : int }
+type 'a t = { root : 'a node; count : int; read_set : Analysis.read_set }
 
 (* Build a node from filters paired with their remaining guard chains. The
    split offset is the most common next-guard offset; filters whose next
@@ -139,9 +139,19 @@ let build filters =
         ({ rank; fast; value }, guard_chain (Validate.program validated)))
       (Array.to_list compiled)
   in
-  { root = build_node entries; count = List.length filters }
+  (* The union read set over all member filters: the trie's verdict — like
+     the sequential walk's — can only depend on packet words some member
+     reads, so this is what the kernel's flow cache keys on. *)
+  let read_set =
+    Array.fold_left
+      (fun acc (_, fast, _) ->
+        Analysis.union_read_sets acc (Fast.analysis fast).Analysis.read_set)
+      (Analysis.Exact []) compiled
+  in
+  { root = build_node entries; count = List.length filters; read_set }
 
 let size t = t.count
+let read_set t = t.read_set
 
 let candidates t packet =
   let rec descend node acc =

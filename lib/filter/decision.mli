@@ -28,6 +28,11 @@ val build : (Validate.t * 'a) list -> 'a t
 val size : 'a t -> int
 (** Number of filters. *)
 
+val read_set : 'a t -> Analysis.read_set
+(** {!Analysis.union_read_sets} over every member filter: the packet words
+    the whole dispatch's outcome can depend on ([Exact []] for an empty
+    build). What {!Pf_kernel.Pfdev}'s flow cache keys on. *)
+
 val classify : 'a t -> Pf_pkt.Packet.t -> 'a option
 (** First match in priority order. *)
 

@@ -122,9 +122,110 @@ let check ?(extra = []) program packet =
         (* A filter that accepts this packet shares it with itself, so its
            self-relation can never soundly be Disjoint. *)
         if reference && Analysis.relate v v = Analysis.Disjoint then
-          fail "analysis-relate" "relate f f = Disjoint for an accepting filter");
+          fail "analysis-relate" "relate f f = Disjoint for an accepting filter";
+        (* Read-set soundness: an [Exact] read set claims the verdict depends
+           only on those words (and their presence), so flipping every word
+           outside it — and growing the packet by one word it does not
+           contain — must leave the verdict unchanged. *)
+        (match a.Analysis.read_set with
+        | Analysis.Unbounded -> ()
+        | Analysis.Exact idxs ->
+          let recheck what mutated =
+            match
+              attempt "analysis-readset" (fun () ->
+                  Interp.accepts ~semantics:`Paper program mutated)
+            with
+            | Some got when got <> reference ->
+              fail "analysis-readset"
+                (Printf.sprintf
+                   "verdict changed (%b -> %b) after mutating %s outside the read set"
+                   reference got what)
+            | _ -> ()
+          in
+          let words = Packet.word_count packet in
+          let b = Packet.to_bytes packet in
+          let flipped = ref false in
+          for i = 0 to words - 1 do
+            if not (List.mem i idxs) then begin
+              flipped := true;
+              let flip pos =
+                Bytes.set b pos (Char.chr (0xff land lnot (Char.code (Bytes.get b pos))))
+              in
+              flip (2 * i);
+              flip ((2 * i) + 1)
+            end
+          done;
+          if !flipped then recheck "every word" (Packet.of_bytes b);
+          if not (List.mem words idxs) then
+            recheck "a grown word" (Packet.append packet (Packet.of_words [ 0xa5a5 ]))));
       check "decision" (fun () ->
           Decision.classify (Decision.build [ (v, ()) ]) packet <> None);
+      (* The kernel demultiplexer's flow cache: the same packet through a
+         cold cache, a warm cache, and a cache-disabled device must agree
+         with the filter's own verdict, with identical per-port accept
+         counts and overflow-drop accounting — and with a bounded read set
+         the warm probe must genuinely hit. *)
+      (match
+         attempt "demux-cache" (fun () ->
+             let mk enabled =
+               let eng = Pf_sim.Engine.create () in
+               let costs = Pf_sim.Costs.free in
+               let cpu = Pf_sim.Cpu.create costs in
+               let stats = Pf_sim.Stats.create () in
+               let dev =
+                 Pf_kernel.Pfdev.create eng cpu costs stats
+                   ~variant:Pf_net.Frame.Exp3 ~address:(Pf_net.Addr.exp 1)
+                   ~send:(fun _ -> ())
+               in
+               Pf_kernel.Pfdev.set_cache_enabled dev enabled;
+               let port = Pf_kernel.Pfdev.open_port dev in
+               (* Queue limit 1: the second delivery overflows iff the packet
+                  is accepted, so drop accounting is exercised too. *)
+               Pf_kernel.Pfdev.set_queue_limit port 1;
+               (match Pf_kernel.Pfdev.set_filter port program with
+               | Ok () -> ()
+               | Error e ->
+                 failwith
+                   (Format.asprintf "install: %a" Pf_kernel.Pfdev.pp_install_error e));
+               (eng, dev, port)
+             in
+             let eng_on, dev_on, port_on = mk true in
+             let cold = Pf_kernel.Pfdev.demux dev_on packet in
+             let warm = Pf_kernel.Pfdev.demux dev_on packet in
+             let eng_off, dev_off, port_off = mk false in
+             let off1 = Pf_kernel.Pfdev.demux dev_off packet in
+             let off2 = Pf_kernel.Pfdev.demux dev_off packet in
+             Pf_sim.Engine.run eng_on;
+             Pf_sim.Engine.run eng_off;
+             ( (cold, warm, off1, off2),
+               (Pf_kernel.Pfdev.port_accepted port_on, Pf_kernel.Pfdev.port_dropped port_on),
+               (Pf_kernel.Pfdev.port_accepted port_off, Pf_kernel.Pfdev.port_dropped port_off),
+               Pf_kernel.Pfdev.cache_stats dev_on ))
+       with
+      | None -> ()
+      | Some ((cold, warm, off1, off2), (acc_on, drop_on), (acc_off, drop_off), cs) ->
+        expect_verdict "demux-cold" reference cold;
+        expect_verdict "demux-warm" reference warm;
+        expect_verdict "demux-disabled" reference off1;
+        expect_verdict "demux-disabled" reference off2;
+        if acc_on <> acc_off then
+          fail "demux-accounting"
+            (Printf.sprintf "cached port accepted %d packets, uncached accepted %d"
+               acc_on acc_off);
+        if drop_on <> drop_off then
+          fail "demux-accounting"
+            (Printf.sprintf "cached port dropped %d packets, uncached dropped %d"
+               drop_on drop_off);
+        (match (Fast.analysis (Fast.compile v)).Analysis.read_set with
+        | Analysis.Exact _ ->
+          if cs.Pf_kernel.Pfdev.hits <> 1 then
+            fail "demux-cache"
+              (Printf.sprintf "expected exactly 1 warm-probe hit, saw %d"
+                 cs.Pf_kernel.Pfdev.hits)
+        | Analysis.Unbounded ->
+          if cs.Pf_kernel.Pfdev.hits <> 0 then
+            fail "demux-cache"
+              "unbounded read set must bypass the cache, yet the probe hit"));
       List.iter (fun (name, engine) -> check name (fun () -> engine v packet)) extra;
       (* Peephole pre-pass: the optimized program must still validate, must
          not grow, and must keep the verdict under both the checked and the

@@ -9,9 +9,16 @@
     - the {!Pf_filter.Closure} compiler,
     - the {!Pf_filter.Analysis} abstract interpreter, whose claims (verdict
       summary, division-fault impossibility, the safe/minimum packet-word
-      bounds, instruction and cost bounds, self-relation) must all be
-      consistent with the concrete run,
+      bounds, instruction and cost bounds, self-relation, and the read set —
+      flipping every packet word outside an [Exact] read set, or growing the
+      packet by a word it does not contain, must not change the verdict)
+      must all be consistent with the concrete run,
     - a single-filter {!Pf_filter.Decision} tree,
+    - the {!Pf_kernel.Pfdev} demultiplexer's flow cache: the packet goes
+      through a cold cache, a warm cache (the same device again), and a
+      cache-disabled device, which must agree on the verdict, on per-port
+      accept counts, and on overflow-drop accounting, and the warm probe
+      must hit exactly when the read set is bounded,
     - the {!Pf_filter.Peephole} pre-pass followed by the checked and fast
       interpreters, and
     - a {!Pf_filter.Program} wire-codec encode/decode round-trip,

@@ -49,7 +49,36 @@ and t = {
   mutable strategy : [ `Sequential | `Decision_tree ];
   mutable tree : port Pf_filter.Decision.t option; (* cache; None = dirty *)
   mutable cost_limit : int option; (* admission bound on a filter's cost_bound *)
+  cache : flow_cache;
 }
+
+(* The demultiplexing flow cache: a bounded table from the packet bytes at
+   the installed filters' union read set to the list of accepting ports.
+   Soundness rests on {!Pf_filter.Analysis.t.read_set}: two packets that
+   agree on every read-set word (including which of those words exist) get
+   the same verdict from every installed filter, so the cached acceptor
+   list is exactly what the ordered walk (or the decision tree) would have
+   produced — as long as the filter set, priorities, and walk order have
+   not changed since the entry was stored, which is what the invalidation
+   paths guarantee. *)
+and flow_cache = {
+  mutable enabled : bool;
+  mutable cache_capacity : int;
+  mutable key_state : key_state;
+  table : (string, port list) Hashtbl.t;
+  fifo : string Queue.t; (* insertion order, for capacity eviction *)
+  mutable generation : int; (* bumped by every invalidation *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable bypasses : int;
+  mutable invalidations : int;
+  mutable evictions : int;
+}
+
+and key_state =
+  | Dirty (* filter set changed: recompute before the next lookup *)
+  | Unusable (* some installed filter's read set is unbounded *)
+  | Offsets of int array (* sorted union read set of the installed filters *)
 
 let create engine cpu costs stats ~variant ~address ~send =
   {
@@ -66,29 +95,76 @@ let create engine cpu costs stats ~variant ~address ~send =
     strategy = `Sequential;
     tree = None;
     cost_limit = None;
+    cache =
+      {
+        enabled = true;
+        cache_capacity = 256;
+        key_state = Dirty;
+        table = Hashtbl.create 64;
+        fifo = Queue.create ();
+        generation = 0;
+        hits = 0;
+        misses = 0;
+        bypasses = 0;
+        invalidations = 0;
+        evictions = 0;
+      };
   }
 
-(* Stable order: decreasing priority, then open order. The occasional
-   busier-first reordering of equal-priority filters (section 3.2) happens in
-   [maybe_reorder]. *)
-let sort_ports t =
+module For_testing = struct
+  (* When set, [install]/[set_filter] leave the flow cache alone — the
+     "forgot to invalidate" kernel bug. The differential suite flips this to
+     prove the cold/warm/disabled demux oracle catches stale entries; never
+     set it outside tests. *)
+  let skip_install_invalidation = ref false
+end
+
+let invalidate_cache t =
+  let c = t.cache in
+  c.key_state <- Dirty;
+  c.generation <- c.generation + 1;
+  if Hashtbl.length c.table > 0 then begin
+    Hashtbl.reset c.table;
+    Queue.clear c.fifo
+  end;
+  c.invalidations <- c.invalidations + 1;
+  Stats.incr t.stats "pf.cache.invalidation"
+
+(* Stable order: decreasing priority, then open order — maintained at
+   mutation time ([insert_port]/[reprioritize]), not by re-sorting on the
+   demux path. The occasional busier-first reordering of equal-priority
+   filters (section 3.2) happens in [maybe_reorder]. *)
+let insert_port t port =
   t.tree <- None;
-  t.ports <-
-    List.stable_sort
-      (fun a b -> match compare b.priority a.priority with 0 -> compare a.id b.id | c -> c)
-      t.ports
+  let rec ins = function
+    | [] -> [ port ]
+    | p :: _ as l when p.priority < port.priority || (p.priority = port.priority && p.id > port.id)
+      -> port :: l
+    | p :: rest -> p :: ins rest
+  in
+  t.ports <- ins t.ports
+
+let reprioritize t port priority =
+  t.ports <- List.filter (fun p -> p.id <> port.id) t.ports;
+  port.priority <- priority;
+  insert_port t port
 
 let maybe_reorder t =
   t.demuxed_since_reorder <- t.demuxed_since_reorder + 1;
   if t.demuxed_since_reorder >= 256 then begin
     t.demuxed_since_reorder <- 0;
+    let before = List.map (fun p -> p.id) t.ports in
     t.ports <-
       List.stable_sort
         (fun a b ->
           match compare b.priority a.priority with
           | 0 -> compare b.accepted a.accepted (* busier first *)
           | c -> c)
-        t.ports
+        t.ports;
+    (* Reordering equal-priority overlapping filters can change which port
+       wins a packet, so any cached decision taken under the old order is
+       stale. *)
+    if List.map (fun p -> p.id) t.ports <> before then invalidate_cache t
   end
 
 (* Charge CPU when called from process context; plain setup code (before the
@@ -119,14 +195,15 @@ let open_port t =
       accepted = 0;
     }
   in
-  t.ports <- t.ports @ [ port ];
-  sort_ports t;
+  insert_port t port;
+  invalidate_cache t;
   port
 
 let close_port port =
   port.is_open <- false;
   port.dev.ports <- List.filter (fun p -> p.id <> port.id) port.dev.ports;
   port.dev.tree <- None;
+  invalidate_cache port.dev;
   (* Wake any blocked readers; they will notice the port is closed. *)
   ignore (Condition.broadcast port.cond () : int)
 
@@ -140,7 +217,9 @@ let pp_install_error ppf = function
     Format.fprintf ppf
       "filter cost bound %d exceeds the device admission limit %d" bound limit
 
-let set_cost_limit t limit = t.cost_limit <- limit
+let set_cost_limit t limit =
+  t.cost_limit <- limit;
+  invalidate_cache t
 
 (* Installation = validation + abstract interpretation. The analysis result
    is recorded on the port: its cost bound gates admission (a filter the
@@ -164,8 +243,8 @@ let install port program =
       port.filter <- Some fast;
       port.validated <- Some validated;
       port.analysis <- Some analysis;
-      port.priority <- Pf_filter.Program.priority program;
-      sort_ports t;
+      reprioritize t port (Pf_filter.Program.priority program);
+      if not !For_testing.skip_install_invalidation then invalidate_cache t;
       Ok analysis)
 
 let set_filter port program =
@@ -173,21 +252,72 @@ let set_filter port program =
 
 let port_analysis port = port.analysis
 let port_id port = port.id
+let port_accepted port = port.accepted
+let port_dropped port = port.dropped
+
+let set_priority port priority =
+  reprioritize port.dev port priority;
+  invalidate_cache port.dev
 
 let set_strategy t strategy =
   t.strategy <- strategy;
-  t.tree <- None
+  t.tree <- None;
+  invalidate_cache t
 
 let set_timeout port timeout = port.timeout <- timeout
 let set_queue_limit port n = port.queue_limit <- max 1 n
 let set_copy_all port flag =
   port.copy_all <- flag;
-  port.dev.tree <- None
+  port.dev.tree <- None;
+  invalidate_cache port.dev
 let set_tap port flag =
   port.tap <- flag;
-  port.dev.tree <- None
+  port.dev.tree <- None;
+  invalidate_cache port.dev
 let set_timestamps port flag = port.timestamps <- flag
 let set_signal port cb = port.signal <- cb
+
+(* {1 Flow-cache control and observability} *)
+
+let set_cache_enabled t flag =
+  if t.cache.enabled <> flag then begin
+    t.cache.enabled <- flag;
+    invalidate_cache t
+  end
+
+let set_cache_capacity t n =
+  t.cache.cache_capacity <- max 1 n;
+  invalidate_cache t
+
+type cache_stats = {
+  enabled : bool;
+  entries : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  bypasses : int;
+  invalidations : int;
+  evictions : int;
+}
+
+let cache_stats t =
+  let c = t.cache in
+  {
+    enabled = c.enabled;
+    entries = Hashtbl.length c.table;
+    capacity = c.cache_capacity;
+    hits = c.hits;
+    misses = c.misses;
+    bypasses = c.bypasses;
+    invalidations = c.invalidations;
+    evictions = c.evictions;
+  }
+
+let pp_cache_stats ppf s =
+  Format.fprintf ppf
+    "flow cache: %s, %d/%d entries, %d hits / %d misses / %d bypasses, %d invalidations, %d evictions"
+    (if s.enabled then "enabled" else "disabled")
+    s.entries s.capacity s.hits s.misses s.bypasses s.invalidations s.evictions
 
 (* {1 Kernel side} *)
 
@@ -226,55 +356,153 @@ let tree_of t =
     t.tree <- Some tree;
     tree
 
+(* Recompute the union read set of every installed filter. A port with no
+   filter accepts nothing and reads nothing, so it does not constrain the
+   key; any filter with an unbounded read set makes the cache unusable
+   until the next invalidation changes the filter set. *)
+let refresh_key_state t =
+  let rec union acc = function
+    | [] -> t.cache.key_state <- Offsets (Array.of_list (List.sort_uniq compare acc))
+    | p :: rest -> (
+      match p.analysis with
+      | None -> union acc rest
+      | Some a -> (
+        match a.Pf_filter.Analysis.read_set with
+        | Pf_filter.Analysis.Unbounded -> t.cache.key_state <- Unusable
+        | Pf_filter.Analysis.Exact idxs -> union (idxs @ acc) rest))
+  in
+  union [] t.ports
+
+(* The cache key: for each union-read-set offset, a presence marker plus the
+   big-endian word bytes — absence is part of the key because a too-short
+   packet faults (rejecting) where a longer one reads a value. *)
+let cache_key offsets frame =
+  let buf = Buffer.create (3 * Array.length offsets) in
+  Array.iter
+    (fun i ->
+      match Packet.word_opt frame i with
+      | Some w ->
+        Buffer.add_char buf '\001';
+        Buffer.add_char buf (Char.chr (w lsr 8));
+        Buffer.add_char buf (Char.chr (w land 0xff))
+      | None -> Buffer.add_char buf '\000')
+    offsets;
+  Buffer.contents buf
+
 let demux t ?(kernel_claimed = false) frame =
   let costs = t.costs in
   Stats.incr t.stats "pf.packets";
-  (* Busier-first reordering only matters (and only makes sense) for the
-     sequential strategy; the tree is keyed on guards, not position. *)
-  if t.strategy = `Sequential then maybe_reorder t;
   let arrival = Engine.now t.engine in
   let cpu_cost = ref 0 in
-  let acceptors = ref [] in
-  let rec apply = function
-    | [] -> ()
-    | port :: rest ->
-      if (not port.is_open) || port.filter = None || (kernel_claimed && not port.tap)
-      then apply rest
-      else begin
-        let filter = Option.get port.filter in
-        cpu_cost := !cpu_cost + costs.Costs.filter_apply;
-        Stats.incr t.stats "pf.filters_tested";
-        let ok, insns = Pf_filter.Fast.run_counted filter frame in
-        cpu_cost := !cpu_cost + (insns * costs.Costs.filter_insn);
-        Stats.incr ~by:insns t.stats "pf.filter_insns";
-        if ok then begin
+  let c = t.cache in
+  (* Probe the flow cache before any filter interpretation. Kernel-claimed
+     packets bypass it: they see a different port subset (taps only), so
+     caching their decisions under the same key would be unsound. *)
+  let probe =
+    if not c.enabled then `Off
+    else if kernel_claimed then begin
+      c.bypasses <- c.bypasses + 1;
+      Stats.incr t.stats "pf.cache.bypass";
+      `Off
+    end
+    else begin
+      if c.key_state = Dirty then refresh_key_state t;
+      match c.key_state with
+      | Dirty -> assert false
+      | Unusable ->
+        c.bypasses <- c.bypasses + 1;
+        Stats.incr t.stats "pf.cache.bypass";
+        `Off
+      | Offsets offsets -> (
+        let key = cache_key offsets frame in
+        cpu_cost :=
+          !cpu_cost + costs.Costs.cache_probe
+          + (Array.length offsets * costs.Costs.cache_hash_word);
+        match Hashtbl.find_opt c.table key with
+        | Some acceptors -> `Hit acceptors
+        | None -> `Miss (key, c.generation))
+    end
+  in
+  let acceptors =
+    match probe with
+    | `Hit acceptors ->
+      c.hits <- c.hits + 1;
+      Stats.incr t.stats "pf.cache.hit";
+      List.iter
+        (fun port ->
+          port.accepted <- port.accepted + 1;
+          if port.timestamps then cpu_cost := !cpu_cost + costs.Costs.timestamp)
+        acceptors;
+      acceptors
+    | (`Miss _ | `Off) as probe ->
+      (* Busier-first reordering only matters (and only makes sense) for the
+         sequential strategy; the tree is keyed on guards, not position. *)
+      if t.strategy = `Sequential then maybe_reorder t;
+      let acceptors = ref [] in
+      let rec apply = function
+        | [] -> ()
+        | port :: rest ->
+          if (not port.is_open) || port.filter = None || (kernel_claimed && not port.tap)
+          then apply rest
+          else begin
+            let filter = Option.get port.filter in
+            cpu_cost := !cpu_cost + costs.Costs.filter_apply;
+            Stats.incr t.stats "pf.filters_tested";
+            let ok, insns = Pf_filter.Fast.run_counted filter frame in
+            cpu_cost := !cpu_cost + (insns * costs.Costs.filter_insn);
+            Stats.incr ~by:insns t.stats "pf.filter_insns";
+            if ok then begin
+              port.accepted <- port.accepted + 1;
+              if port.timestamps then cpu_cost := !cpu_cost + costs.Costs.timestamp;
+              acceptors := port :: !acceptors;
+              (* Stop unless this filter asked for copies to lower priorities. *)
+              if port.copy_all then apply rest
+            end
+            else apply rest
+          end
+      in
+      if t.strategy = `Decision_tree && (not kernel_claimed) && tree_usable t then begin
+        (* One guard-trie walk instead of priority-ordered interpretation;
+           verdicts are identical (property-tested in Decision). *)
+        let result, stats = Pf_filter.Decision.classify_stats (tree_of t) frame in
+        cpu_cost :=
+          !cpu_cost
+          + (stats.Pf_filter.Decision.filters_run * costs.Costs.filter_apply)
+          + (stats.Pf_filter.Decision.insns * costs.Costs.filter_insn);
+        Stats.incr ~by:stats.Pf_filter.Decision.filters_run t.stats "pf.filters_tested";
+        Stats.incr ~by:stats.Pf_filter.Decision.insns t.stats "pf.filter_insns";
+        match result with
+        | Some port ->
           port.accepted <- port.accepted + 1;
           if port.timestamps then cpu_cost := !cpu_cost + costs.Costs.timestamp;
-          acceptors := port :: !acceptors;
-          (* Stop unless this filter asked for copies to lower priorities. *)
-          if port.copy_all then apply rest
-        end
-        else apply rest
+          acceptors := [ port ]
+        | None -> ()
       end
+      else apply t.ports;
+      let acceptors = List.rev !acceptors in
+      (match probe with
+      | `Miss (key, generation) when generation = c.generation ->
+        (* Store the decision unless something (e.g. a busier-first reorder
+           during this very walk) invalidated the cache after the key was
+           computed under the old read set. *)
+        c.misses <- c.misses + 1;
+        Stats.incr t.stats "pf.cache.miss";
+        cpu_cost := !cpu_cost + costs.Costs.cache_probe (* insert *);
+        if Hashtbl.length c.table >= c.cache_capacity then (
+          match Queue.take_opt c.fifo with
+          | Some victim ->
+            Hashtbl.remove c.table victim;
+            c.evictions <- c.evictions + 1;
+            Stats.incr t.stats "pf.cache.eviction"
+          | None -> ());
+        Hashtbl.replace c.table key acceptors;
+        Queue.push key c.fifo
+      | `Miss _ ->
+        c.misses <- c.misses + 1;
+        Stats.incr t.stats "pf.cache.miss"
+      | `Off -> ());
+      acceptors
   in
-  if t.strategy = `Decision_tree && (not kernel_claimed) && tree_usable t then begin
-    (* One guard-trie walk instead of priority-ordered interpretation;
-       verdicts are identical (property-tested in Decision). *)
-    let result, stats = Pf_filter.Decision.classify_stats (tree_of t) frame in
-    cpu_cost :=
-      (stats.Pf_filter.Decision.filters_run * costs.Costs.filter_apply)
-      + (stats.Pf_filter.Decision.insns * costs.Costs.filter_insn);
-    Stats.incr ~by:stats.Pf_filter.Decision.filters_run t.stats "pf.filters_tested";
-    Stats.incr ~by:stats.Pf_filter.Decision.insns t.stats "pf.filter_insns";
-    match result with
-    | Some port ->
-      port.accepted <- port.accepted + 1;
-      if port.timestamps then cpu_cost := !cpu_cost + costs.Costs.timestamp;
-      acceptors := [ port ]
-    | None -> ()
-  end
-  else apply t.ports;
-  let acceptors = List.rev !acceptors in
   let accepted = acceptors <> [] in
   if accepted then Stats.incr t.stats "pf.accepted"
   else if not kernel_claimed then Stats.incr t.stats "pf.drop.nomatch";

@@ -62,6 +62,16 @@ val port_analysis : port -> Pf_filter.Analysis.t option
 val port_id : port -> int
 (** Stable identifier, for correlating {!filter_relations} output. *)
 
+val port_accepted : port -> int
+(** Packets this port's filter has accepted (before queue-overflow drops). *)
+
+val port_dropped : port -> int
+(** Packets dropped on this port by queue overflow (§3.3). *)
+
+val set_priority : port -> int -> unit
+(** Re-rank the port without reinstalling its filter; the priority normally
+    comes from the installed program's header ({!install}). *)
+
 val set_strategy : t -> [ `Sequential | `Decision_tree ] -> unit
 (** Demultiplexing strategy. [`Sequential] (the default) applies filters in
     priority order, figure 4-1. [`Decision_tree] merges the active filters
@@ -128,7 +138,44 @@ val demux : t -> ?kernel_claimed:bool -> Pf_pkt.Packet.t -> bool
 (** Apply the filters (figure 4-1) and queue on accepting ports; to be called
     at interrupt level by the host after charging device-driver costs.
     [kernel_claimed] marks packets consumed by kernel-resident protocols:
-    only tap ports see those. Returns whether any port accepted. *)
+    only tap ports see those. Returns whether any port accepted.
+
+    A demultiplexing {e flow cache} fronts the filter walk: decisions are
+    memoized in a bounded table keyed on the packet bytes at the union
+    {!Pf_filter.Analysis.t.read_set} of the installed filters, so a repeated
+    header pattern costs one hash probe instead of a filter interpretation.
+    The cache is transparently flushed by every mutation that could change a
+    decision ({!open_port}, {!close_port}, {!install}/{!set_filter},
+    {!set_priority}, {!set_strategy}, {!set_copy_all}, {!set_tap},
+    {!set_cost_limit}, and busier-first reorders that change the walk order)
+    and bypassed for kernel-claimed packets or when any installed filter's
+    read set is [Unbounded]. *)
+
+(** {1 Flow-cache control and observability} *)
+
+val set_cache_enabled : t -> bool -> unit
+(** Default [true]. Disabling flushes the cache; every packet then takes the
+    full filter walk (the paper-faithful configuration for reproducing the
+    section 6.5 tables). *)
+
+val set_cache_capacity : t -> int -> unit
+(** Bounded size (entries), FIFO eviction beyond it; default 256, clamped to
+    at least 1. Changing it flushes the cache. *)
+
+type cache_stats = {
+  enabled : bool;
+  entries : int;  (** currently cached decisions *)
+  capacity : int;
+  hits : int;
+  misses : int;
+  bypasses : int;  (** kernel-claimed packets + unbounded-read-set periods *)
+  invalidations : int;  (** full flushes from configuration changes *)
+  evictions : int;  (** capacity-pressure FIFO evictions *)
+}
+
+val cache_stats : t -> cache_stats
+val pp_cache_stats : Format.formatter -> cache_stats -> unit
+(** One-line summary, as shown by [pftool] and [pfmon]. *)
 
 (** {1 Status (section 3.3)} *)
 
@@ -154,3 +201,13 @@ val shadowed_ports : t -> (port * port) list
     equivalent to) a strictly-higher-priority port's filter that is not
     copy-all, so [shadowed] can never receive a packet — almost certainly a
     configuration mistake. *)
+
+(** {1 Test hooks} *)
+
+module For_testing : sig
+  val skip_install_invalidation : bool ref
+  (** When set, {!install}/{!set_filter} leave the flow cache alone — the
+      "forgot to invalidate" kernel bug. The differential suite flips this
+      to prove the cold/warm/disabled demux oracle catches stale entries;
+      never set it outside tests. *)
+end

@@ -15,6 +15,8 @@ type t = {
   pipe_transfer : Time.t;
   timestamp : Time.t;
   wakeup : Time.t;
+  cache_probe : Time.t;
+  cache_hash_word : Time.t;
 }
 
 let microvax_ii =
@@ -35,6 +37,8 @@ let microvax_ii =
     pipe_transfer = 300;
     timestamp = 70;
     wakeup = 200;
+    cache_probe = 20;
+    cache_hash_word = 3;
   }
 
 let scale f t =
@@ -56,6 +60,8 @@ let scale f t =
     pipe_transfer = s t.pipe_transfer;
     timestamp = s t.timestamp;
     wakeup = s t.wakeup;
+    cache_probe = s t.cache_probe;
+    cache_hash_word = s t.cache_hash_word;
   }
 
 let vax_780 = { microvax_ii with timestamp = 70 }

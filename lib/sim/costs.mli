@@ -40,6 +40,12 @@ type t = {
   pipe_transfer : Time.t;  (** fixed cost of moving a packet through a pipe *)
   timestamp : Time.t;  (** microtime call when packets are timestamped *)
   wakeup : Time.t;  (** scheduler work to make a blocked process runnable *)
+  cache_probe : Time.t;
+      (** fixed part of a demux flow-cache lookup or insert (hash dispatch,
+          bucket probe, verdict copy) — a handful of VAX instructions *)
+  cache_hash_word : Time.t;
+      (** per key word: loading one packet word at a read-set offset,
+          folding it into the hash, and comparing it on a probe *)
 }
 
 val microvax_ii : t

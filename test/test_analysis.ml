@@ -421,10 +421,76 @@ let test_unsound_mutant_pinned () =
   | Oracle.Agreement { accept = true; _ } -> ()
   | o -> Alcotest.failf "sound analysis flagged: %a" Oracle.pp_outcome o
 
+(* {1 The read set} *)
+
+let read_set = Alcotest.testable Analysis.pp_read_set ( = )
+
+let test_read_set_known_filters () =
+  Alcotest.check read_set "accept_all reads nothing" (Analysis.Exact [])
+    (analyze Predicates.accept_all).Analysis.read_set;
+  Alcotest.check read_set "reject_all reads nothing" (Analysis.Exact [])
+    (analyze Predicates.reject_all).Analysis.read_set;
+  Alcotest.check read_set "fig 3-8 reads type + length words" (Analysis.Exact [ 1; 3 ])
+    (analyze Predicates.fig_3_8).Analysis.read_set;
+  Alcotest.check read_set "fig 3-9 reads ethertype + socket words"
+    (Analysis.Exact [ 1; 7; 8 ])
+    (analyze Predicates.fig_3_9).Analysis.read_set;
+  (* A data-dependent Pushind index can reach any word. *)
+  (match (analyze (Predicates.udp_dst_port_any_ihl 53)).Analysis.read_set with
+  | Analysis.Unbounded -> ()
+  | Analysis.Exact _ -> Alcotest.fail "any-IHL matcher must have an unbounded read set")
+
+let test_read_set_constant_pushind () =
+  (* An indirect push whose index the intervals prove constant stays exact. *)
+  let p =
+    Program.v
+      [ i (Action.Pushlit 4); i Action.Pushind; i ~op:Op.Eq (Action.Pushlit 7) ]
+  in
+  Alcotest.check read_set "constant Pushind contributes its index"
+    (Analysis.Exact [ 4 ]) (analyze p).Analysis.read_set
+
+let test_read_set_ignores_dead_code () =
+  (* Everything after a decided short-circuit is unreachable; its packet
+     reads must not inflate the read set. *)
+  let p =
+    Program.v
+      [ i Action.Pushzero;
+        i ~op:Op.Cand Action.Pushone (* provably unequal: always rejects here *);
+        i ~op:Op.Eq (Action.Pushword 9) ]
+  in
+  let a = analyze p in
+  Alcotest.(check bool) "program really truncates" true (Analysis.dead_after a <> None);
+  Alcotest.check read_set "dead Pushword 9 not counted" (Analysis.Exact [])
+    a.Analysis.read_set
+
+let test_union_read_sets () =
+  Alcotest.check read_set "union sorts and dedups" (Analysis.Exact [ 1; 2; 3 ])
+    (Analysis.union_read_sets (Analysis.Exact [ 3; 1 ]) (Analysis.Exact [ 2; 1 ]));
+  Alcotest.check read_set "Unbounded absorbs on the left" Analysis.Unbounded
+    (Analysis.union_read_sets Analysis.Unbounded (Analysis.Exact [ 1 ]));
+  Alcotest.check read_set "Unbounded absorbs on the right" Analysis.Unbounded
+    (Analysis.union_read_sets (Analysis.Exact [ 1 ]) Analysis.Unbounded)
+
+let test_decision_read_set () =
+  let tree =
+    Decision.build
+      [ (validate_exn Predicates.fig_3_8, `A); (validate_exn Predicates.fig_3_9, `B) ]
+  in
+  Alcotest.check read_set "union over the members" (Analysis.Exact [ 1; 3; 7; 8 ])
+    (Decision.read_set tree);
+  Alcotest.check read_set "empty build reads nothing" (Analysis.Exact [])
+    (Decision.read_set (Decision.build []))
+
 let suite =
   ( "analysis",
     [
       Alcotest.test_case "known filter facts" `Quick test_known_filters;
+      Alcotest.test_case "read set of known filters" `Quick test_read_set_known_filters;
+      Alcotest.test_case "read set: constant Pushind stays exact" `Quick
+        test_read_set_constant_pushind;
+      Alcotest.test_case "read set ignores dead code" `Quick test_read_set_ignores_dead_code;
+      Alcotest.test_case "read set union" `Quick test_union_read_sets;
+      Alcotest.test_case "decision tree union read set" `Quick test_decision_read_set;
       Alcotest.test_case "cost model bounds every run" `Quick test_cost_model;
       Alcotest.test_case "indirect index bound via data flow" `Quick test_indirect_bound;
       Alcotest.test_case "fast/closure skip proven checks" `Quick test_engines_skip_checks;

@@ -156,6 +156,56 @@ let test_mutant_caught_and_shrunk () =
     Alcotest.(check bool) "repro command present" true
       (Testutil.contains f.Runner.repro "pffuzz --seed")
 
+(* {1 The seeded stale-cache mutant}
+
+   The "forgot to invalidate" kernel bug: warm the demux flow cache with
+   accept_all's decision, then swap the real filter in with the invalidation
+   deliberately skipped (Pfdev.For_testing). The next demux answers from the
+   stale entry — i.e. accepts everything — so the oracle must flag it on any
+   packet the real filter rejects, and the shrinker must reduce the
+   evidence. *)
+
+let mutant_stale_cache (v : Validate.t) packet =
+  let module Pfdev = Pf_kernel.Pfdev in
+  let eng = Pf_sim.Engine.create () in
+  let costs = Pf_sim.Costs.free in
+  let dev =
+    Pfdev.create eng (Pf_sim.Cpu.create costs) costs (Pf_sim.Stats.create ())
+      ~variant:Pf_net.Frame.Exp3 ~address:(Pf_net.Addr.exp 1)
+      ~send:(fun _ -> ())
+  in
+  let port = Pfdev.open_port dev in
+  (match Pfdev.set_filter port Predicates.accept_all with
+  | Ok () -> ()
+  | Error _ -> assert false);
+  ignore (Pfdev.demux dev packet : bool);
+  Pfdev.For_testing.skip_install_invalidation := true;
+  let swapped = Pfdev.set_filter port (Validate.program v) in
+  Pfdev.For_testing.skip_install_invalidation := false;
+  (match swapped with Ok () -> () | Error _ -> assert false);
+  Pfdev.demux dev packet
+
+let test_stale_cache_mutant_caught_and_shrunk () =
+  let extra = [ ("stale-cache", mutant_stale_cache) ] in
+  let stats = Runner.run ~extra ~max_failures:1 ~seed:0x5CA1E ~iters:2_000 () in
+  match stats.Runner.failures with
+  | [] -> Alcotest.fail "the oracle missed a skipped flow-cache invalidation"
+  | f :: _ ->
+    Alcotest.(check bool) "stale cache is the culprit" true
+      (List.exists
+         (fun (m : Oracle.mismatch) -> m.Oracle.engine = "stale-cache")
+         f.Runner.mismatches);
+    Alcotest.(check bool) "shrunk case still disagrees" true
+      (List.exists
+         (fun (m : Oracle.mismatch) -> m.Oracle.engine = "stale-cache")
+         f.Runner.shrunk_mismatches);
+    Alcotest.(check bool)
+      (Format.asprintf "reproducer is <= 5 insns, got:@.%a" Program.pp f.Runner.shrunk_program)
+      true
+      (Program.insn_count f.Runner.shrunk_program <= 5);
+    Alcotest.(check bool) "repro command present" true
+      (Testutil.contains f.Runner.repro "pffuzz --seed")
+
 (* {1 Pinned regression: the out-of-range literal divergence}
 
    Found by construction while building the oracle: Interp masks every push
@@ -234,6 +284,8 @@ let suite =
       Alcotest.test_case "valid generator always validates" `Quick test_valid_all_validate;
       Alcotest.test_case "seeded Fast mutant caught and shrunk" `Quick
         test_mutant_caught_and_shrunk;
+      Alcotest.test_case "seeded stale-cache mutant caught and shrunk" `Quick
+        test_stale_cache_mutant_caught_and_shrunk;
       Alcotest.test_case "out-of-range literal regression" `Quick
         test_literal_masking_regression;
       Alcotest.test_case "peephole report arithmetic (corpus)" `Quick

@@ -422,6 +422,273 @@ let test_userdemux_forwards () =
   Userdemux.stop demux;
   Engine.run eng
 
+(* {1 The demux flow cache}
+
+   Decisions are memoized keyed on the packet bytes at the union read set of
+   the installed filters; every test here drives [Pfdev.demux] directly (it
+   is the interrupt-level entry point, no process context needed). *)
+
+let cache_frame ?(dst_socket = 35l) () =
+  Testutil.pup_frame ~dst_byte:2 ~src_byte:1 ~dst_socket ()
+
+let test_cache_warm_hit () =
+  let eng, _, _, bob = mk_world () in
+  let pf = Host.pf bob in
+  let port = Pfdev.open_port pf in
+  set_filter_exn port (socket_filter 35);
+  let hit_frame = cache_frame () in
+  let miss_frame = cache_frame ~dst_socket:99l () in
+  Alcotest.(check bool) "cold accept" true (Pfdev.demux pf hit_frame);
+  Alcotest.(check bool) "warm accept" true (Pfdev.demux pf hit_frame);
+  Alcotest.(check bool) "cold reject" false (Pfdev.demux pf miss_frame);
+  (* Negative decisions are cached too: a repeated non-matching header
+     pattern also skips filter evaluation. *)
+  Alcotest.(check bool) "warm reject" false (Pfdev.demux pf miss_frame);
+  let cs = Pfdev.cache_stats pf in
+  Alcotest.(check int) "two hits" 2 cs.Pfdev.hits;
+  Alcotest.(check int) "two misses" 2 cs.Pfdev.misses;
+  Alcotest.(check int) "two entries" 2 cs.Pfdev.entries;
+  Alcotest.(check int) "hit path counts accepts" 2 (Pfdev.port_accepted port);
+  Alcotest.(check int) "stats mirror the struct" 2
+    (Pf_sim.Stats.get (Host.stats bob) "pf.cache.hit");
+  Engine.run eng;
+  Alcotest.(check int) "hit path still delivers" 2 (Pfdev.poll port)
+
+let test_cache_hit_is_cheaper () =
+  (* The whole point: with calibrated costs, a warm demux of the same header
+     pattern must charge less interrupt CPU than the cold one. *)
+  let eng, _, _, bob = mk_world ~costs:Pf_sim.Costs.microvax_ii () in
+  let pf = Host.pf bob in
+  let port = Pfdev.open_port pf in
+  set_filter_exn port (socket_filter 35);
+  let frame = cache_frame () in
+  ignore (Pfdev.demux pf frame : bool);
+  let cold = Pf_sim.Stats.get (Host.stats bob) "pf.demux_cpu_us" in
+  ignore (Pfdev.demux pf frame : bool);
+  let warm = Pf_sim.Stats.get (Host.stats bob) "pf.demux_cpu_us" - cold in
+  Alcotest.(check bool)
+    (Printf.sprintf "warm demux (%d us) cheaper than cold (%d us)" warm cold)
+    true (warm < cold);
+  Engine.run eng
+
+let test_cache_invalidated_on_set_filter () =
+  let eng, _, _, bob = mk_world () in
+  let pf = Host.pf bob in
+  let port = Pfdev.open_port pf in
+  set_filter_exn port (socket_filter 35);
+  let frame = cache_frame () in
+  Alcotest.(check bool) "accepted before the swap" true (Pfdev.demux pf frame);
+  set_filter_exn port Pf_filter.Predicates.reject_all;
+  Alcotest.(check bool) "no stale hit after set_filter" false (Pfdev.demux pf frame);
+  Alcotest.(check int) "the probe missed" 0 (Pfdev.cache_stats pf).Pfdev.hits;
+  Engine.run eng
+
+let test_cache_invalidated_on_close_port () =
+  let eng, _, _, bob = mk_world () in
+  let pf = Host.pf bob in
+  let port = Pfdev.open_port pf in
+  set_filter_exn port (socket_filter 35);
+  let frame = cache_frame () in
+  Alcotest.(check bool) "accepted while open" true (Pfdev.demux pf frame);
+  Pfdev.close_port port;
+  Alcotest.(check bool) "no stale delivery to a closed port" false (Pfdev.demux pf frame);
+  Alcotest.(check int) "the probe missed" 0 (Pfdev.cache_stats pf).Pfdev.hits;
+  Engine.run eng
+
+let test_cache_invalidated_on_open_port () =
+  let eng, _, _, bob = mk_world () in
+  let pf = Host.pf bob in
+  let low = Pfdev.open_port pf in
+  set_filter_exn low (socket_filter ~priority:1 35);
+  let frame = cache_frame () in
+  Alcotest.(check bool) "low wins alone" true (Pfdev.demux pf frame);
+  let high = Pfdev.open_port pf in
+  set_filter_exn high (socket_filter ~priority:9 35);
+  Alcotest.(check bool) "still accepted" true (Pfdev.demux pf frame);
+  Alcotest.(check int) "new high-priority port wins, not the cached one" 1
+    (Pfdev.port_accepted high);
+  Alcotest.(check int) "low got only the first" 1 (Pfdev.port_accepted low);
+  Engine.run eng
+
+let test_cache_invalidated_on_set_priority () =
+  let eng, _, _, bob = mk_world () in
+  let pf = Host.pf bob in
+  let a = Pfdev.open_port pf in
+  let b = Pfdev.open_port pf in
+  set_filter_exn a (socket_filter ~priority:9 35);
+  set_filter_exn b (socket_filter ~priority:1 35);
+  let frame = cache_frame () in
+  Alcotest.(check bool) "accepted" true (Pfdev.demux pf frame);
+  Alcotest.(check int) "a wins at first" 1 (Pfdev.port_accepted a);
+  Pfdev.set_priority b 20;
+  Alcotest.(check bool) "still accepted" true (Pfdev.demux pf frame);
+  Alcotest.(check int) "b wins after set_priority, no stale hit" 1
+    (Pfdev.port_accepted b);
+  Engine.run eng
+
+let test_cache_bypass_unbounded_read_set () =
+  let eng, _, _, bob = mk_world () in
+  let pf = Host.pf bob in
+  let port = Pfdev.open_port pf in
+  (* Data-dependent Pushind (the IHL-following UDP matcher): the read set is
+     Unbounded, so no key covers the verdict and the cache must stand aside. *)
+  set_filter_exn port (Pf_filter.Predicates.udp_dst_port_any_ihl 53);
+  (match (Option.get (Pfdev.port_analysis port)).Pf_filter.Analysis.read_set with
+  | Pf_filter.Analysis.Unbounded -> ()
+  | Pf_filter.Analysis.Exact _ ->
+    Alcotest.fail "expected an unbounded read set for the any-IHL matcher");
+  let frame = Testutil.ip_udp_frame ~dst_port:53 in
+  Alcotest.(check bool) "accepted" true (Pfdev.demux pf frame);
+  Alcotest.(check bool) "accepted again" true (Pfdev.demux pf frame);
+  let cs = Pfdev.cache_stats pf in
+  Alcotest.(check int) "both demuxes bypassed" 2 cs.Pfdev.bypasses;
+  Alcotest.(check int) "no hits" 0 cs.Pfdev.hits;
+  Alcotest.(check int) "no misses" 0 cs.Pfdev.misses;
+  Alcotest.(check int) "nothing stored" 0 cs.Pfdev.entries;
+  Engine.run eng
+
+let test_cache_capacity_eviction () =
+  let eng, _, _, bob = mk_world () in
+  let pf = Host.pf bob in
+  let port = Pfdev.open_port pf in
+  set_filter_exn port (socket_filter 35);
+  Pfdev.set_cache_capacity pf 2;
+  let f s = cache_frame ~dst_socket:s () in
+  ignore (Pfdev.demux pf (f 1l) : bool);
+  ignore (Pfdev.demux pf (f 2l) : bool);
+  ignore (Pfdev.demux pf (f 3l) : bool);
+  let cs = Pfdev.cache_stats pf in
+  Alcotest.(check int) "bounded at capacity" 2 cs.Pfdev.entries;
+  Alcotest.(check int) "FIFO-evicted the oldest" 1 cs.Pfdev.evictions;
+  (* The evicted (oldest) key misses again; the youngest still hits. *)
+  ignore (Pfdev.demux pf (f 1l) : bool);
+  ignore (Pfdev.demux pf (f 3l) : bool);
+  let cs = Pfdev.cache_stats pf in
+  Alcotest.(check int) "evicted key missed" 4 cs.Pfdev.misses;
+  Alcotest.(check int) "resident key hit" 1 cs.Pfdev.hits;
+  Engine.run eng
+
+let test_cache_disabled () =
+  let eng, _, _, bob = mk_world () in
+  let pf = Host.pf bob in
+  let port = Pfdev.open_port pf in
+  set_filter_exn port (socket_filter 35);
+  Pfdev.set_cache_enabled pf false;
+  let frame = cache_frame () in
+  Alcotest.(check bool) "accepted" true (Pfdev.demux pf frame);
+  Alcotest.(check bool) "accepted again" true (Pfdev.demux pf frame);
+  let cs = Pfdev.cache_stats pf in
+  Alcotest.(check bool) "reported disabled" false cs.Pfdev.enabled;
+  Alcotest.(check int) "no hits" 0 cs.Pfdev.hits;
+  Alcotest.(check int) "no misses" 0 cs.Pfdev.misses;
+  Alcotest.(check int) "nothing stored" 0 cs.Pfdev.entries;
+  Pfdev.set_cache_enabled pf true;
+  ignore (Pfdev.demux pf frame : bool);
+  ignore (Pfdev.demux pf frame : bool);
+  Alcotest.(check int) "works again once re-enabled" 1 (Pfdev.cache_stats pf).Pfdev.hits;
+  Engine.run eng
+
+let test_cache_invalidation_triggers_counted () =
+  (* Every remaining configuration mutation must flush: each call bumps the
+     invalidation counter (the correctness-critical ones are exercised
+     end-to-end above and by the fuzz oracle). *)
+  let eng, _, _, bob = mk_world () in
+  let pf = Host.pf bob in
+  let port = Pfdev.open_port pf in
+  set_filter_exn port (socket_filter 35);
+  let bumps name f =
+    let before = (Pfdev.cache_stats pf).Pfdev.invalidations in
+    f ();
+    Alcotest.(check bool) (name ^ " invalidates") true
+      ((Pfdev.cache_stats pf).Pfdev.invalidations > before)
+  in
+  bumps "set_strategy" (fun () -> Pfdev.set_strategy pf `Decision_tree);
+  bumps "set_copy_all" (fun () -> Pfdev.set_copy_all port true);
+  bumps "set_tap" (fun () -> Pfdev.set_tap port true);
+  bumps "set_cost_limit" (fun () -> Pfdev.set_cost_limit pf (Some 10_000));
+  bumps "set_cache_capacity" (fun () -> Pfdev.set_cache_capacity pf 8);
+  Engine.run eng
+
+(* {1 Queue-limit overflow accounting} *)
+
+let test_dropped_before_on_next_read () =
+  let eng, _, _, bob = mk_world () in
+  let pf = Host.pf bob in
+  let port = Pfdev.open_port pf in
+  set_filter_exn port (socket_filter 35);
+  Pfdev.set_queue_limit port 1;
+  let frame = cache_frame () in
+  ignore (Pfdev.demux pf frame : bool);
+  ignore (Pfdev.demux pf frame : bool);
+  ignore (Pfdev.demux pf frame : bool);
+  Engine.run eng;
+  (* One queued, two overflowed. *)
+  Alcotest.(check int) "port drop counter" 2 (Pfdev.port_dropped port);
+  Alcotest.(check int) "stats overflow drops" 2
+    (Pf_sim.Stats.get (Host.stats bob) "pf.drop.overflow");
+  let c1 = ref None in
+  ignore (Host.spawn bob ~name:"r1" (fun () -> c1 := Pfdev.read port));
+  Engine.run eng;
+  (match !c1 with
+  | Some c ->
+    (* The survivor was enqueued before anything overflowed. *)
+    Alcotest.(check int) "queued before the drops" 0 c.Pfdev.dropped_before
+  | None -> Alcotest.fail "first read returned nothing");
+  ignore (Pfdev.demux pf frame : bool);
+  Engine.run eng;
+  let c2 = ref None in
+  ignore (Host.spawn bob ~name:"r2" (fun () -> c2 := Pfdev.read port));
+  Engine.run eng;
+  match !c2 with
+  | Some c ->
+    (* §3.3's count is cumulative since the port opened — a read does not
+       reset it. *)
+    Alcotest.(check int) "next successful read reports both drops" 2 c.Pfdev.dropped_before;
+    Alcotest.(check int) "not reset by the read" 2 (Pfdev.port_dropped port)
+  | None -> Alcotest.fail "second read returned nothing"
+
+let test_dropped_before_with_read_batch () =
+  let eng, _, _, bob = mk_world () in
+  let pf = Host.pf bob in
+  let port = Pfdev.open_port pf in
+  set_filter_exn port (socket_filter 35);
+  Pfdev.set_queue_limit port 2;
+  let frame = cache_frame () in
+  ignore (Pfdev.demux pf frame : bool);
+  ignore (Pfdev.demux pf frame : bool);
+  ignore (Pfdev.demux pf frame : bool);
+  Engine.run eng;
+  let batch = ref [] in
+  ignore (Host.spawn bob ~name:"b1" (fun () -> batch := Pfdev.read_batch port));
+  Engine.run eng;
+  Alcotest.(check int) "batch returns the two survivors" 2 (List.length !batch);
+  List.iter
+    (fun (c : Pfdev.capture) ->
+      Alcotest.(check int) "survivors predate the overflow" 0 c.Pfdev.dropped_before)
+    !batch;
+  ignore (Pfdev.demux pf frame : bool);
+  Engine.run eng;
+  let batch2 = ref [] in
+  ignore (Host.spawn bob ~name:"b2" (fun () -> batch2 := Pfdev.read_batch port));
+  Engine.run eng;
+  match !batch2 with
+  | [ c ] -> Alcotest.(check int) "later capture carries the drop count" 1 c.Pfdev.dropped_before
+  | l -> Alcotest.failf "expected one capture, got %d" (List.length l)
+
+let test_queue_limit_clamped () =
+  let eng, _, _, bob = mk_world () in
+  let pf = Host.pf bob in
+  let port = Pfdev.open_port pf in
+  set_filter_exn port (socket_filter 35);
+  Pfdev.set_queue_limit port 0 (* clamps to 1: a port can always hold one *);
+  let frame = cache_frame () in
+  ignore (Pfdev.demux pf frame : bool);
+  ignore (Pfdev.demux pf frame : bool);
+  Engine.run eng;
+  Alcotest.(check int) "one queued" 1 (Pfdev.poll port);
+  Alcotest.(check int) "one dropped" 1 (Pfdev.port_dropped port);
+  Engine.run eng
+
 let suite =
   ( "kernel",
     [
@@ -444,4 +711,25 @@ let suite =
       Alcotest.test_case "pipe fifo" `Quick test_pipe;
       Alcotest.test_case "pipe blocking write" `Quick test_pipe_blocking_write;
       Alcotest.test_case "user demux forwards" `Quick test_userdemux_forwards;
+      Alcotest.test_case "flow cache: warm hits" `Quick test_cache_warm_hit;
+      Alcotest.test_case "flow cache: hits are cheaper" `Quick test_cache_hit_is_cheaper;
+      Alcotest.test_case "flow cache: set_filter invalidates" `Quick
+        test_cache_invalidated_on_set_filter;
+      Alcotest.test_case "flow cache: close_port invalidates" `Quick
+        test_cache_invalidated_on_close_port;
+      Alcotest.test_case "flow cache: open_port invalidates" `Quick
+        test_cache_invalidated_on_open_port;
+      Alcotest.test_case "flow cache: set_priority invalidates" `Quick
+        test_cache_invalidated_on_set_priority;
+      Alcotest.test_case "flow cache: unbounded read set bypasses" `Quick
+        test_cache_bypass_unbounded_read_set;
+      Alcotest.test_case "flow cache: capacity eviction" `Quick test_cache_capacity_eviction;
+      Alcotest.test_case "flow cache: disable/enable" `Quick test_cache_disabled;
+      Alcotest.test_case "flow cache: remaining invalidation triggers" `Quick
+        test_cache_invalidation_triggers_counted;
+      Alcotest.test_case "queue limit: dropped_before on next read" `Quick
+        test_dropped_before_on_next_read;
+      Alcotest.test_case "queue limit: read_batch accounting" `Quick
+        test_dropped_before_with_read_batch;
+      Alcotest.test_case "queue limit: clamped to one" `Quick test_queue_limit_clamped;
     ] )
