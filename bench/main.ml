@@ -17,6 +17,7 @@ let experiments =
     ("telnet", "Table 6-7 Telnet output rates", Exp_telnet.run);
     ("demux", "Tables 6-8..6-10 demultiplexing and filter costs", Exp_demux.run);
     ("cache", "Demux flow cache on a skewed traffic mix", Exp_cache.run);
+    ("ir", "Register-IR compile strategies on the §6 filter mix", Exp_ir.run);
     ("figures", "Figures 2-1/2-2, 2-3, 3-4/3-5 cost decompositions", Exp_figures.run);
     ("ablation", "Design ablations + Bechamel microbenchmarks", Exp_ablation.run);
   ]
@@ -47,4 +48,8 @@ let () =
           Printf.eprintf "unknown experiment %S (try --list)\n" name;
           exit 1)
       names);
-  if json then Util.write_json json_path
+  if json then begin
+    Util.write_json json_path;
+    (* The register-IR experiment gets its own CI artifact. *)
+    Util.write_json_filtered "BENCH_ir.json" ~prefix:"ir_"
+  end

@@ -119,10 +119,9 @@ let set_filter_exn port program =
 let json_metrics : (string * float) list ref = ref []
 let record_metric name value = json_metrics := (name, value) :: !json_metrics
 
-let write_json path =
+let write_rows path rows =
   let oc = open_out path in
   output_string oc "{\n";
-  let rows = List.rev !json_metrics in
   let last = List.length rows - 1 in
   List.iteri
     (fun i (k, v) -> Printf.fprintf oc "  %S: %.6f%s\n" k v (if i = last then "" else ","))
@@ -130,3 +129,14 @@ let write_json path =
   output_string oc "}\n";
   close_out oc;
   Printf.printf "\nwrote %d metrics to %s\n" (List.length rows) path
+
+let write_json path = write_rows path (List.rev !json_metrics)
+
+(* Write only the metrics under [prefix] (a per-experiment artifact); no
+   file at all when the experiment did not run. *)
+let write_json_filtered path ~prefix =
+  match
+    List.filter (fun (k, _) -> String.starts_with ~prefix k) (List.rev !json_metrics)
+  with
+  | [] -> ()
+  | rows -> write_rows path rows

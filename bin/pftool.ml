@@ -242,6 +242,60 @@ let lint_cmd =
           (always-reject verdicts and provable runtime faults)")
     Term.(const run $ files $ builtin)
 
+let ir_cmd =
+  let files =
+    Arg.(value & pos_all string [] & info [] ~docv:"FILE" ~doc:"Filter sources to compile.")
+  in
+  let builtin =
+    Arg.(value & flag
+         & info [ "builtin" ]
+             ~doc:"Also compile the built-in filters (the paper's figures and every \
+                   filter the examples install).")
+  in
+  let show_one (name, program) =
+    Format.printf "== %s ==@." name;
+    match Validate.check program with
+    | Error e -> Format.printf "INVALID: %a@.@." Validate.pp_error e
+    | Ok v ->
+      let lowered = Ir.lower v in
+      let optimized, _ = Regopt.optimize v in
+      let raised, report = Regopt.raise_program v in
+      Format.printf "-- lowered (%d instrs, %d loads)@.%a"
+        (Ir.instr_count lowered) (Ir.load_count lowered) Ir.pp lowered;
+      Format.printf "-- optimized (%d instrs, %d loads)@.%a"
+        (Ir.instr_count optimized) (Ir.load_count optimized) Ir.pp optimized;
+      Format.printf "-- passes:";
+      List.iter (fun (pass, n) -> Format.printf " %s:%d" pass n) report.Regopt.passes;
+      Format.printf "@.";
+      if report.Regopt.fell_back then
+        Format.printf "-- raised: fell back to the original program@."
+      else
+        Format.printf "-- raised (%d -> %d insns, %d -> %d code words)@.%a"
+          report.Regopt.insns_before (Program.insn_count raised)
+          (Program.code_words program) (Program.code_words raised)
+          Program.pp raised;
+      Format.printf "@."
+  in
+  let run files builtin =
+    let targets =
+      List.map (fun f -> (f, read_program f)) files
+      @ (if builtin then builtin_filters else [])
+    in
+    if targets = [] then begin
+      Printf.eprintf "pftool: nothing to compile (give FILE arguments or --builtin)\n";
+      exit 2
+    end;
+    List.iter show_one targets
+  in
+  Cmd.v
+    (Cmd.info "ir"
+       ~doc:
+         "Lower filters to the three-address register IR and show the \
+          optimizer's work: the lowered and optimized IR side by side, \
+          per-pass change counts, and the optimized stack program raised \
+          back for the classic engines")
+    Term.(const run $ files $ builtin)
+
 let cache_cmd =
   let files =
     Arg.(value & pos_all string [] & info [] ~docv:"FILE" ~doc:"Filter sources to analyze.")
@@ -301,4 +355,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ asm_cmd; disasm_cmd; run_cmd; compile_cmd; fields_cmd; examples_cmd; lint_cmd;
-            cache_cmd ]))
+            cache_cmd; ir_cmd ]))

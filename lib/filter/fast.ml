@@ -16,6 +16,7 @@ let compile validated =
     stack = Array.make Interp.stack_size 0;
   }
 
+let validated t = t.validated
 let program t = Validate.program t.validated
 let priority t = Program.priority (program t)
 let analysis t = t.analysis
@@ -80,12 +81,17 @@ let run_counted t packet =
           let t1 = stack.(!sp - 1) in
           let t2 = stack.(!sp - 2) in
           sp := !sp - 2;
-          match Op.apply op ~t2 ~t1 with
-          | Op.Push r ->
+          (* [Op.apply_int] keeps the ALU allocation-free: [Op.apply]'s
+             [Push r] result boxed a fresh variant on every arithmetic
+             instruction. A fault and a rejecting short-circuit both
+             terminate [(false, pc + 1)], so the two negative sentinels
+             besides [apply_accept] need no distinction here. *)
+          let r = Op.apply_int op ~t2 ~t1 in
+          if r >= 0 then begin
             stack.(!sp) <- r;
             incr sp
-          | Op.Terminate accept -> raise (Done (accept, pc + 1))
-          | Op.Fault -> raise (Done (false, pc + 1)))
+          end
+          else raise (Done (r = Op.apply_accept, pc + 1)))
       done;
       let accept = !sp = 0 || stack.(!sp - 1) <> 0 in
       (accept, n)

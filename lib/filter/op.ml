@@ -66,6 +66,34 @@ let apply op ~t2 ~t1 =
   | Lsh -> Push ((t2 lsl (t1 land 15)) land 0xffff)
   | Rsh -> Push (t2 lsr (t1 land 15))
 
+let apply_accept = -1
+let apply_reject = -2
+let apply_fault = -3
+
+let apply_int op ~t2 ~t1 =
+  match op with
+  | Nop -> invalid_arg "Op.apply_int: Nop pops nothing"
+  | Eq -> bool_word (t2 = t1)
+  | Neq -> bool_word (t2 <> t1)
+  | Lt -> bool_word (t2 < t1)
+  | Le -> bool_word (t2 <= t1)
+  | Gt -> bool_word (t2 > t1)
+  | Ge -> bool_word (t2 >= t1)
+  | And -> t2 land t1
+  | Or -> t2 lor t1
+  | Xor -> t2 lxor t1
+  | Cor -> if t1 = t2 then apply_accept else 0
+  | Cand -> if t1 <> t2 then apply_reject else 1
+  | Cnor -> if t1 = t2 then apply_reject else 0
+  | Cnand -> if t1 <> t2 then apply_accept else 1
+  | Add -> (t2 + t1) land 0xffff
+  | Sub -> (t2 - t1) land 0xffff
+  | Mul -> (t2 * t1) land 0xffff
+  | Div -> if t1 = 0 then apply_fault else t2 / t1
+  | Mod -> if t1 = 0 then apply_fault else t2 mod t1
+  | Lsh -> (t2 lsl (t1 land 15)) land 0xffff
+  | Rsh -> t2 lsr (t1 land 15)
+
 (* Codes 0-13 match 4.3BSD <net/enet.h>; 16+ are our extensions. *)
 let code = function
   | Nop -> 0

@@ -1,0 +1,75 @@
+(** The optimizing backend over the register IR.
+
+    {!Ir.lower} turns a validated stack program into three-address code;
+    this module spends the dataflow that representation exposes:
+
+    - {e terminator folding} seeded by {!Analysis} interval facts: a filter
+      whose verdict the abstract interpreter decides collapses to a bare
+      [Halt], and a proven always-terminating instruction truncates
+      everything after it;
+    - {e constant folding and copy propagation}: operators whose operands
+      are immediates fold away (a division by a constant zero folds to the
+      rejecting terminator), and algebraic identities ([x and 0xffff],
+      [x add 0], [x sub x], ...) turn into copies or constants that
+      propagate into later operands;
+    - {e common subexpression elimination}: repeated [pushword+i] loads and
+      identical subtrees read each packet word once (registers are
+      single-assignment and packets immutable, so availability is global);
+      a repeated compare-and-terminate on the same operands is deleted (it
+      can fire only if the first did) or, with the opposite polarity,
+      decides the program;
+    - {e dead-value elimination}: values no execution can observe are
+      dropped. Instructions that can reject on their own survive unless
+      provably harmless: a dead packet load is deleted only when an earlier
+      retained load proves the packet long enough, a dead division only
+      when its divisor is a non-zero immediate.
+
+    The pipeline preserves the [`Paper] verdict of {!Interp.run} on every
+    packet — including short packets and runtime faults. The differential
+    fuzz oracle ({!Pf_fuzz.Oracle}) cross-checks both the optimized IR
+    (via {!Regvm}) and the raised stack program on every case.
+
+    {2 Raising}
+
+    {!raise_program} lowers, optimizes, and then {e raises} the IR back
+    into a stack program, so every stack engine (Interp/Fast/Closure/
+    Decision) and the 16-bit wire encoding benefit from the same
+    optimization. Raising replays the IR in order: compare-and-terminate
+    exits become short-circuit operators, operand trees are rematerialized
+    on demand (the stack machine has no dup, so shared values are
+    recomputed — sound because packets are immutable), and instructions
+    that can reject are pinned before the next accepting exit so fault
+    order stays observably identical. If the result does not validate,
+    grows in code words, or raises the {!Analysis.t.cost_bound}, the
+    original program is returned unchanged — raising never loses. *)
+
+type report = {
+  insns_before : int;  (** stack instructions in the source program *)
+  lowered_instrs : int;  (** IR instructions straight out of {!Ir.lower} *)
+  optimized_instrs : int;  (** IR instructions after the pipeline *)
+  loads_before : int;  (** packet loads in the lowered IR *)
+  loads_after : int;  (** packet loads after the pipeline *)
+  passes : (string * int) list;
+      (** Per-pass change counts in pipeline order ([analysis], [fold],
+          [cse], [dve]), summed over fixpoint iterations. *)
+  fell_back : bool;
+      (** {!raise_program} only: the raised candidate was rejected (failed
+          validation, grew, or cost more) and the original program was
+          kept. Always [false] in {!optimize} reports. *)
+}
+
+val optimize : Validate.t -> Ir.t * report
+(** Lower and run the pass pipeline to a fixpoint; registers are
+    renumbered densely afterwards (the [reg_count] is what {!Regvm} sizes
+    its scratch file with). *)
+
+val raise_ir : Ir.t -> priority:int -> Program.t option
+(** Raise an IR back to a stack program; [None] when the replay exceeds
+    the emission budget (pathologically shared trees). The result is not
+    yet validated — {!raise_program} is the safe entry point. *)
+
+val raise_program : Validate.t -> Program.t * report
+(** The full lower → optimize → raise round trip with the never-lose
+    fallback described above. The result always validates, never has more
+    code words than the source, never a larger {!Analysis.t.cost_bound},
+    and keeps the [`Paper] verdict on every packet. *)

@@ -20,7 +20,13 @@
       accept counts, and on overflow-drop accounting, and the warm probe
       must hit exactly when the read set is bounded,
     - the {!Pf_filter.Peephole} pre-pass followed by the checked and fast
-      interpreters, and
+      interpreters,
+    - the {!Pf_filter.Regvm} register VM over the optimized
+      {!Pf_filter.Ir} lowering,
+    - the {!Pf_filter.Regopt.raise_program} round trip: the raised stack
+      program must validate, must not grow in code words or
+      {!Pf_filter.Analysis.cost_bound}, and must agree under both the
+      checked and fast interpreters, and
     - a {!Pf_filter.Program} wire-codec encode/decode round-trip,
 
     and classifies any disagreement. Two boundaries are respected rather than

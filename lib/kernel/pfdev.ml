@@ -18,6 +18,14 @@ type port = {
   dev : t;
   id : int;
   mutable filter : Pf_filter.Fast.t option;
+  mutable regvm : Pf_filter.Regvm.t option;
+      (* When set, the sequential walk runs this instead of [filter]; the
+         stack compilation is kept alongside for the decision-tree path. *)
+  mutable engine_kind : [ `Stack | `Raised | `Regvm ];
+  mutable engine_applications : int;
+  mutable engine_insns : int;
+  mutable insns_source : int;
+  mutable insns_compiled : int;
   mutable validated : Pf_filter.Validate.t option;
   mutable analysis : Pf_filter.Analysis.t option;
   mutable priority : int;
@@ -47,6 +55,7 @@ and t = {
   mutable next_id : int;
   mutable demuxed_since_reorder : int;
   mutable strategy : [ `Sequential | `Decision_tree ];
+  mutable compile_strategy : [ `Off | `Raise_only | `Regvm ];
   mutable tree : port Pf_filter.Decision.t option; (* cache; None = dirty *)
   mutable cost_limit : int option; (* admission bound on a filter's cost_bound *)
   cache : flow_cache;
@@ -93,6 +102,7 @@ let create engine cpu costs stats ~variant ~address ~send =
     next_id = 0;
     demuxed_since_reorder = 0;
     strategy = `Sequential;
+    compile_strategy = `Off;
     tree = None;
     cost_limit = None;
     cache =
@@ -178,6 +188,12 @@ let open_port t =
       dev = t;
       id = t.next_id;
       filter = None;
+      regvm = None;
+      engine_kind = `Stack;
+      engine_applications = 0;
+      engine_insns = 0;
+      insns_source = 0;
+      insns_compiled = 0;
       validated = None;
       analysis = None;
       priority = 0;
@@ -230,7 +246,46 @@ let install port program =
   | Error e -> Error (Invalid e)
   | Ok validated -> (
     let t = port.dev in
-    let fast = Pf_filter.Fast.compile validated in
+    (* Compile according to the device strategy. [`Raise_only] replaces the
+       stack program with its lower→optimize→raise round trip (never worse:
+       Regopt falls back to the original otherwise), so every downstream
+       engine — including the decision tree — runs the optimized code.
+       [`Regvm] additionally compiles the optimized IR for direct register
+       execution on the sequential walk; the stack compilation is kept for
+       the decision-tree path and the status surface. *)
+    let fast, regvm, kind, compiled_insns =
+      match t.compile_strategy with
+      | `Off ->
+        ( Pf_filter.Fast.compile validated,
+          None,
+          `Stack,
+          Pf_filter.Program.insn_count program )
+      | `Raise_only -> (
+        let raised, _report = Pf_filter.Regopt.raise_program validated in
+        match Pf_filter.Validate.check raised with
+        | Ok vr ->
+          ( Pf_filter.Fast.compile vr,
+            None,
+            `Raised,
+            Pf_filter.Program.insn_count raised )
+        | Error _ ->
+          (* Regopt guarantees the raised program validates; defensively
+             keep the original if that invariant ever breaks. *)
+          ( Pf_filter.Fast.compile validated,
+            None,
+            `Stack,
+            Pf_filter.Program.insn_count program ))
+      | `Regvm ->
+        let rvm = Pf_filter.Regvm.compile validated in
+        ( Pf_filter.Fast.compile validated,
+          Some rvm,
+          `Regvm,
+          Pf_filter.Ir.instr_count (Pf_filter.Regvm.ir rvm) )
+    in
+    (* Admission and the status surface use the analysis of the program the
+       sequential walk actually interprets (for [`Raise_only] the raised
+       one — its cost bound is never larger, and its read set is sound for
+       the flow cache because the verdict is preserved on every packet). *)
     let analysis = Pf_filter.Fast.analysis fast in
     match t.cost_limit with
     | Some limit when analysis.Pf_filter.Analysis.cost_bound > limit ->
@@ -241,7 +296,13 @@ let install port program =
       (* "at a cost comparable to that of receiving a packet" (§3.1) *)
       charge (t.costs.Costs.syscall + Costs.copy_cost t.costs ~bytes:(2 * Pf_filter.Program.code_words program) + t.costs.Costs.recv_interrupt);
       port.filter <- Some fast;
-      port.validated <- Some validated;
+      port.regvm <- regvm;
+      port.engine_kind <- kind;
+      port.engine_applications <- 0;
+      port.engine_insns <- 0;
+      port.insns_source <- Pf_filter.Program.insn_count program;
+      port.insns_compiled <- compiled_insns;
+      port.validated <- Some (Pf_filter.Fast.validated fast);
       port.analysis <- Some analysis;
       reprioritize t port (Pf_filter.Program.priority program);
       if not !For_testing.skip_install_invalidation then invalidate_cache t;
@@ -263,6 +324,40 @@ let set_strategy t strategy =
   t.strategy <- strategy;
   t.tree <- None;
   invalidate_cache t
+
+(* The compile strategy applies to future installs only: already-installed
+   filters keep the engine they were compiled with (like a real driver,
+   where recompiling under the caller's feet would need locking). Verdicts
+   are engine-independent, so cached decisions stay sound; we still flush
+   defensively since per-port cost accounting changes. *)
+let set_compile_strategy t strategy =
+  if t.compile_strategy <> strategy then begin
+    t.compile_strategy <- strategy;
+    invalidate_cache t
+  end
+
+let compile_strategy t = t.compile_strategy
+
+type engine_stats = {
+  engine : [ `Stack | `Raised | `Regvm ];
+  applications : int;
+  insns_executed : int;
+  insns_source : int;
+  insns_compiled : int;
+}
+
+let port_engine_stats port =
+  match port.filter with
+  | None -> None
+  | Some _ ->
+    Some
+      {
+        engine = port.engine_kind;
+        applications = port.engine_applications;
+        insns_executed = port.engine_insns;
+        insns_source = port.insns_source;
+        insns_compiled = port.insns_compiled;
+      }
 
 let set_timeout port timeout = port.timeout <- timeout
 let set_queue_limit port n = port.queue_limit <- max 1 n
@@ -445,12 +540,25 @@ let demux t ?(kernel_claimed = false) frame =
           if (not port.is_open) || port.filter = None || (kernel_claimed && not port.tap)
           then apply rest
           else begin
-            let filter = Option.get port.filter in
-            cpu_cost := !cpu_cost + costs.Costs.filter_apply;
             Stats.incr t.stats "pf.filters_tested";
-            let ok, insns = Pf_filter.Fast.run_counted filter frame in
-            cpu_cost := !cpu_cost + (insns * costs.Costs.filter_insn);
+            let ok, insns =
+              match port.regvm with
+              | Some rvm ->
+                cpu_cost := !cpu_cost + costs.Costs.regvm_apply;
+                let ok, insns = Pf_filter.Regvm.run_counted rvm frame in
+                cpu_cost := !cpu_cost + (insns * costs.Costs.regvm_insn);
+                Stats.incr ~by:insns t.stats "pf.regvm_insns";
+                (ok, insns)
+              | None ->
+                let filter = Option.get port.filter in
+                cpu_cost := !cpu_cost + costs.Costs.filter_apply;
+                let ok, insns = Pf_filter.Fast.run_counted filter frame in
+                cpu_cost := !cpu_cost + (insns * costs.Costs.filter_insn);
+                (ok, insns)
+            in
             Stats.incr ~by:insns t.stats "pf.filter_insns";
+            port.engine_applications <- port.engine_applications + 1;
+            port.engine_insns <- port.engine_insns + insns;
             if ok then begin
               port.accepted <- port.accepted + 1;
               if port.timestamps then cpu_cost := !cpu_cost + costs.Costs.timestamp;

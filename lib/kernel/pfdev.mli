@@ -80,6 +80,47 @@ val set_strategy : t -> [ `Sequential | `Decision_tree ] -> unit
     sequential while any copy-all or tap port exists (those need
     multi-delivery, which the first-match tree cannot express). *)
 
+val set_compile_strategy : t -> [ `Off | `Raise_only | `Regvm ] -> unit
+(** How {!install} compiles filters, spending the {!Pf_filter.Regopt}
+    optimizing backend:
+
+    - [`Off] (the default): interpret the stack program as installed — the
+      paper-faithful configuration; every existing experiment is unchanged.
+    - [`Raise_only]: run the lower → optimize → raise round trip and
+      install the optimized {e stack} program, so the sequential walk, the
+      decision tree, and the status surface all see the cheaper code.
+      Never worse: {!Pf_filter.Regopt.raise_program} falls back to the
+      original when optimization does not pay.
+    - [`Regvm]: additionally execute the optimized register IR directly
+      ({!Pf_filter.Regvm}) on the sequential walk, charged at the
+      register-VM cost model ({!Pf_sim.Costs.t.regvm_insn}); the
+      decision-tree path, which merges stack programs, keeps the stack
+      compilation.
+
+    Applies to filters installed {e after} the call; already-installed
+    ports keep their engine. Verdicts are engine-independent (the fuzz
+    oracle cross-checks all three), so demultiplexing decisions do not
+    change — only their simulated cost. *)
+
+val compile_strategy : t -> [ `Off | `Raise_only | `Regvm ]
+
+type engine_stats = {
+  engine : [ `Stack | `Raised | `Regvm ];  (** how this port was compiled *)
+  applications : int;  (** sequential-walk applications of this filter *)
+  insns_executed : int;
+      (** stack instructions (or IR instructions for [`Regvm]) executed by
+          those applications; the decision-tree path accounts globally
+          ("pf.filter_insns"), not per port *)
+  insns_source : int;  (** instructions in the program as installed *)
+  insns_compiled : int;
+      (** instructions actually run per worst-case application: the raised
+          program's for [`Raised], the optimized IR's for [`Regvm] *)
+}
+
+val port_engine_stats : port -> engine_stats option
+(** Per-port compiled-engine counters; [None] while no filter is
+    installed. Reset by each {!install}. *)
+
 val set_timeout : port -> Pf_sim.Time.t option -> unit
 (** Default [None]: block indefinitely. *)
 

@@ -17,6 +17,8 @@ type t = {
   wakeup : Time.t;
   cache_probe : Time.t;
   cache_hash_word : Time.t;
+  regvm_apply : Time.t;
+  regvm_insn : Time.t;
 }
 
 let microvax_ii =
@@ -39,6 +41,8 @@ let microvax_ii =
     wakeup = 200;
     cache_probe = 20;
     cache_hash_word = 3;
+    regvm_apply = 30;
+    regvm_insn = 18;
   }
 
 let scale f t =
@@ -62,6 +66,8 @@ let scale f t =
     wakeup = s t.wakeup;
     cache_probe = s t.cache_probe;
     cache_hash_word = s t.cache_hash_word;
+    regvm_apply = s t.regvm_apply;
+    regvm_insn = s t.regvm_insn;
   }
 
 let vax_780 = { microvax_ii with timestamp = 70 }

@@ -46,6 +46,15 @@ type t = {
   cache_hash_word : Time.t;
       (** per key word: loading one packet word at a read-set offset,
           folding it into the hash, and comparing it on a probe *)
+  regvm_apply : Time.t;
+      (** fixed per-filter overhead when applying a register-VM compiled
+          filter (register file setup instead of stack setup) *)
+  regvm_insn : Time.t;
+      (** executing one register-IR instruction: ≈ 0.62x the stack
+          interpreter's {!filter_insn} — three-address dispatch avoids the
+          stack-pointer traffic and operand shuffling each stack step pays,
+          consistent with the register-vs-stack gap the BPF lineage
+          measured *)
 }
 
 val microvax_ii : t

@@ -20,4 +20,5 @@ let () =
       Test_misc.suite;
       Test_differential.suite;
       Test_analysis.suite;
+      Test_ir.suite;
     ]
