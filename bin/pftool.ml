@@ -186,6 +186,35 @@ let builtin_filters =
     ("synthetic-accept-5", Predicates.synthetic ~length:5 ~accept:true)
   ]
 
+(* Minimal JSON emission (no JSON library in the toolchain; the subset we
+   emit is flat strings/ints/bools, so hand-rolling stays honest). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_str s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let json_obj fields =
+  Printf.sprintf "{%s}"
+    (String.concat "," (List.map (fun (k, v) -> json_str k ^ ":" ^ v) fields))
+
+let json_arr items = Printf.sprintf "[%s]" (String.concat "," items)
+
+let hex_of_packet p =
+  let b = Pf_pkt.Packet.to_bytes p in
+  String.concat ""
+    (List.init (Bytes.length b) (fun i -> Printf.sprintf "%02x" (Bytes.get_uint8 b i)))
+
 let lint_cmd =
   let files =
     Arg.(value & pos_all string [] & info [] ~docv:"FILE" ~doc:"Filter sources to lint.")
@@ -196,30 +225,69 @@ let lint_cmd =
              ~doc:"Also lint the built-in filters (the paper's figures and every \
                    filter the examples install).")
   in
-  let lint_one (name, program) =
-    Format.printf "== %s ==@." name;
-    let bad =
-      match Validate.check program with
-      | Error e ->
-        Format.printf "INVALID: %a@." Validate.pp_error e;
-        true
-      | Ok v ->
-        let a = Analysis.analyze v in
-        Format.printf "%a@." Analysis.pp a;
-        let faults =
-          match a.Analysis.terminates_at with
-          | Some (_, Analysis.Faults) -> true
-          | _ -> false
-        in
-        if faults then Format.printf "LINT: provably faults on every packet@."
-        else if a.Analysis.verdict = Analysis.Always_reject then
-          Format.printf "LINT: can never accept a packet@.";
-        faults || a.Analysis.verdict = Analysis.Always_reject
-    in
-    Format.printf "@.";
-    bad
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit one JSON document on stdout instead of text, for CI \
+                   and downstream tooling.")
   in
-  let run files builtin =
+  (* name, validation result, and the lint findings (empty = clean) *)
+  let lint_one (name, program) =
+    match Validate.check program with
+    | Error e -> (name, Error (Format.asprintf "%a" Validate.pp_error e), [])
+    | Ok v ->
+      let a = Analysis.analyze v in
+      let faults =
+        match a.Analysis.terminates_at with
+        | Some (_, Analysis.Faults) -> true
+        | _ -> false
+      in
+      let findings =
+        if faults then [ "provably faults on every packet" ]
+        else if a.Analysis.verdict = Analysis.Always_reject then
+          [ "can never accept a packet" ]
+        else []
+      in
+      (name, Ok a, findings)
+  in
+  let print_text results =
+    List.iter
+      (fun (name, validation, findings) ->
+        Format.printf "== %s ==@." name;
+        (match validation with
+        | Error e -> Format.printf "INVALID: %s@." e
+        | Ok a ->
+          Format.printf "%a@." Analysis.pp a;
+          List.iter (Format.printf "LINT: %s@.") findings);
+        Format.printf "@.")
+      results
+  in
+  let print_json results failures =
+    let filters =
+      List.map
+        (fun (name, validation, findings) ->
+          match validation with
+          | Error e ->
+            json_obj
+              [ ("name", json_str name); ("valid", "false"); ("error", json_str e) ]
+          | Ok a ->
+            json_obj
+              [ ("name", json_str name);
+                ("valid", "true");
+                ("verdict", json_str (Format.asprintf "%a" Analysis.pp_verdict a.Analysis.verdict));
+                ("cost_bound", string_of_int a.Analysis.cost_bound);
+                ("read_set", json_str (Format.asprintf "%a" Analysis.pp_read_set a.Analysis.read_set));
+                ("findings", json_arr (List.map json_str findings));
+                ("ok", if findings = [] then "true" else "false")
+              ])
+        results
+    in
+    print_string
+      (json_obj
+         [ ("filters", json_arr filters); ("failures", string_of_int failures) ]);
+    print_newline ()
+  in
+  let run files builtin json =
     let targets =
       List.map (fun f -> (f, read_program f)) files
       @ (if builtin then builtin_filters else [])
@@ -228,19 +296,30 @@ let lint_cmd =
       Printf.eprintf "pftool: nothing to lint (give FILE arguments or --builtin)\n";
       exit 2
     end;
-    let failures = List.length (List.filter lint_one targets) in
+    let results = List.map lint_one targets in
+    let failures =
+      List.length
+        (List.filter
+           (fun (_, validation, findings) ->
+             (match validation with Error _ -> true | Ok _ -> false)
+             || findings <> [])
+           results)
+    in
+    if json then print_json results failures else print_text results;
     if failures > 0 then begin
-      Printf.printf "%d of %d filters failed the lint\n" failures (List.length targets);
+      if not json then
+        Printf.printf "%d of %d filters failed the lint\n" failures (List.length targets);
       exit 1
     end;
-    Printf.printf "%d filters linted, all can accept\n" (List.length targets)
+    if not json then
+      Printf.printf "%d filters linted, all can accept\n" (List.length targets)
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Analyze filters and fail on ones that can never accept a packet \
           (always-reject verdicts and provable runtime faults)")
-    Term.(const run $ files $ builtin)
+    Term.(const run $ files $ builtin $ json)
 
 let ir_cmd =
   let files =
@@ -349,10 +428,234 @@ let cache_cmd =
           disables it)")
     Term.(const run $ files $ builtin)
 
+let equiv_cmd =
+  let file_a =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"A" ~doc:"First filter source.")
+  in
+  let file_b =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"B" ~doc:"Second filter source.")
+  in
+  let budget =
+    Arg.(value & opt int Equiv.default_budget
+         & info [ "budget" ] ~docv:"N"
+             ~doc:"Path budget per side for the symbolic executor.")
+  in
+  let run file_a file_b budget =
+    let load file =
+      let program = read_program file in
+      match Validate.check program with
+      | Ok v -> v
+      | Error e ->
+        Format.eprintf "pftool: %s is invalid: %a@." file Validate.pp_error e;
+        exit 2
+    in
+    let va = load file_a and vb = load file_b in
+    let r = Equiv.check_programs ~budget va vb in
+    (match r.Equiv.verdict with
+    | Equiv.Proved_equal ->
+      Format.printf "equivalent: proved over %d + %d symbolic paths@."
+        r.Equiv.paths_left r.Equiv.paths_right
+    | Equiv.Counterexample w ->
+      let hex = hex_of_packet w in
+      Format.printf "NOT equivalent: witness packet %s@."
+        (if hex = "" then "(empty)" else hex);
+      Format.printf "  %s accepts: %b@." file_a
+        (Interp.accepts ~semantics:`Paper (Validate.program va) w);
+      Format.printf "  %s accepts: %b@." file_b
+        (Interp.accepts ~semantics:`Paper (Validate.program vb) w)
+    | Equiv.Unknown -> Format.printf "unknown: %a@." Equiv.pp_reasons r.Equiv.reasons);
+    match r.Equiv.verdict with
+    | Equiv.Proved_equal -> ()
+    | Equiv.Counterexample _ -> exit 1
+    | Equiv.Unknown -> exit 3
+  in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:
+         "Prove two filters accept exactly the same packets, or synthesize a \
+          witness packet they disagree on (exit 0 proved, 1 counterexample, \
+          3 unknown)")
+    Term.(const run $ file_a $ file_b $ budget)
+
+let verify_cmd =
+  let files =
+    Arg.(value & pos_all string [] & info [] ~docv:"FILE" ~doc:"Filter sources to verify.")
+  in
+  let builtin =
+    Arg.(value & flag
+         & info [ "builtin" ]
+             ~doc:"Also verify the built-in filters (the paper's figures and \
+                   every filter the examples install).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit one JSON document on stdout instead of text.")
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Also fail when a rewrite certifies as unknown (by default \
+                   only refuted rewrites and invalid filters fail).")
+  in
+  let budget =
+    Arg.(value & opt int Equiv.default_budget
+         & info [ "budget" ] ~docv:"N"
+             ~doc:"Path budget per side for the symbolic executor.")
+  in
+  let cex_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cex-dir" ] ~docv:"DIR"
+             ~doc:"Write each refuting witness packet (hex, one per line) to \
+                   \\$(docv)/<filter>-<pass>.hex for artifact upload.")
+  in
+  (* Certify every shipped rewrite of one filter. *)
+  let verify_one ~budget program =
+    match Validate.check program with
+    | Error e -> Error (Format.asprintf "%a" Validate.pp_error e)
+    | Ok v ->
+      let peephole =
+        let opt = Peephole.optimize program in
+        match Validate.check opt with
+        | Error _ -> Equiv.Uncertified "optimized program does not validate"
+        | Ok vopt ->
+          Equiv.certification_of_report (Equiv.check_programs ~budget v vopt)
+      in
+      let regopt_ir =
+        let ir, _ = Regopt.optimize v in
+        Equiv.certification_of_report (Equiv.check_ir ~budget v ir)
+      in
+      let raise_pass =
+        let raised, _ = Regopt.raise_program v in
+        match Validate.check raised with
+        | Error _ -> Equiv.Uncertified "raised program does not validate"
+        | Ok vraised ->
+          Equiv.certification_of_report (Equiv.check_programs ~budget v vraised)
+      in
+      Ok [ ("peephole", peephole); ("regopt-ir", regopt_ir); ("raise", raise_pass) ]
+  in
+  let sanitize name =
+    String.map (fun c -> match c with 'a'..'z' | 'A'..'Z' | '0'..'9' | '-' | '_' -> c | _ -> '-') name
+  in
+  let write_cex dir name pass w =
+    let path = Filename.concat dir (Printf.sprintf "%s-%s.hex" (sanitize name) pass) in
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc (hex_of_packet w ^ "\n"));
+    path
+  in
+  let run files builtin json strict budget cex_dir =
+    let targets =
+      List.map (fun f -> (f, read_program f)) files
+      @ (if builtin then builtin_filters else [])
+    in
+    if targets = [] then begin
+      Printf.eprintf "pftool: nothing to verify (give FILE arguments or --builtin)\n";
+      exit 2
+    end;
+    (match cex_dir with
+    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+    | _ -> ());
+    let invalid = ref 0 and refuted = ref 0 and unknown = ref 0 in
+    let results =
+      List.map
+        (fun (name, program) ->
+          let result = verify_one ~budget program in
+          (match result with
+          | Error _ -> incr invalid
+          | Ok checks ->
+            List.iter
+              (fun (pass, cert) ->
+                match cert with
+                | Equiv.Certified -> ()
+                | Equiv.Refuted w ->
+                  incr refuted;
+                  Option.iter (fun dir -> ignore (write_cex dir name pass w)) cex_dir
+                | Equiv.Uncertified _ -> incr unknown)
+              checks);
+          (name, result))
+        targets
+    in
+    if json then begin
+      let filters =
+        List.map
+          (fun (name, result) ->
+            match result with
+            | Error e ->
+              json_obj
+                [ ("name", json_str name); ("valid", "false"); ("error", json_str e) ]
+            | Ok checks ->
+              json_obj
+                [ ("name", json_str name);
+                  ("valid", "true");
+                  ("checks",
+                   json_arr
+                     (List.map
+                        (fun (pass, cert) ->
+                          let fields = [ ("pass", json_str pass) ] in
+                          let fields =
+                            match cert with
+                            | Equiv.Certified ->
+                              fields @ [ ("status", json_str "certified") ]
+                            | Equiv.Refuted w ->
+                              fields
+                              @ [ ("status", json_str "refuted");
+                                  ("witness", json_str (hex_of_packet w)) ]
+                            | Equiv.Uncertified why ->
+                              fields
+                              @ [ ("status", json_str "unknown");
+                                  ("reason", json_str why) ]
+                          in
+                          json_obj fields)
+                        checks)) ])
+          results
+      in
+      print_string
+        (json_obj
+           [ ("filters", json_arr filters);
+             ("invalid", string_of_int !invalid);
+             ("refuted", string_of_int !refuted);
+             ("unknown", string_of_int !unknown) ]);
+      print_newline ()
+    end
+    else begin
+      List.iter
+        (fun (name, result) ->
+          Format.printf "== %s ==@." name;
+          (match result with
+          | Error e -> Format.printf "INVALID: %s@." e
+          | Ok checks ->
+            List.iter
+              (fun (pass, cert) ->
+                match cert with
+                | Equiv.Certified -> Format.printf "%-10s certified@." pass
+                | Equiv.Refuted w ->
+                  let hex = hex_of_packet w in
+                  Format.printf "%-10s REFUTED: witness packet %s@." pass
+                    (if hex = "" then "(empty)" else hex)
+                | Equiv.Uncertified why ->
+                  Format.printf "%-10s UNKNOWN: %s@." pass why)
+              checks);
+          Format.printf "@.")
+        results;
+      Format.printf
+        "%d filters verified: %d invalid, %d rewrites refuted, %d unknown@."
+        (List.length targets) !invalid !refuted !unknown
+    end;
+    if !invalid > 0 || !refuted > 0 || (strict && !unknown > 0) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Translation-validate every shipped optimizer rewrite (peephole, \
+          register-IR optimization, raise) of each filter against the \
+          original: each is proved equivalent or refuted with a runnable \
+          witness packet")
+    Term.(const run $ files $ builtin $ json $ strict $ budget $ cex_dir)
+
 let () =
   let info = Cmd.info "pftool" ~doc:"Packet filter assembler / disassembler / evaluator" in
   exit
     (Cmd.eval
        (Cmd.group info
           [ asm_cmd; disasm_cmd; run_cmd; compile_cmd; fields_cmd; examples_cmd; lint_cmd;
-            cache_cmd; ir_cmd ]))
+            cache_cmd; ir_cmd; equiv_cmd; verify_cmd ]))

@@ -112,7 +112,28 @@ let build filters =
      accept any packet — so their relative order cannot change the verdict,
      and running the cheaper one first (by the analysis cost bound) lowers
      the expected demux cost. Restricting swaps to proven-disjoint
-     equal-priority neighbours keeps first-match semantics exactly. *)
+     equal-priority neighbours keeps first-match semantics exactly.
+
+     [Analysis.relate] only separates exact guard chains; where it says
+     Unknown, the symbolic path engine gets a chance to prove disjointness
+     outright (memoized — the bubble sort revisits pairs). *)
+  let relate_memo = Hashtbl.create 16 in
+  let proven_disjoint va vb =
+    match Analysis.relate va vb with
+    | Analysis.Disjoint -> true
+    | Analysis.Unknown -> (
+      let key =
+        (Program.encode (Validate.program va),
+         Program.encode (Validate.program vb))
+      in
+      match Hashtbl.find_opt relate_memo key with
+      | Some r -> r
+      | None ->
+        let r = Equiv.relate va vb = Analysis.Disjoint in
+        Hashtbl.add relate_memo key r;
+        r)
+    | Analysis.Equivalent | Analysis.Subsumes | Analysis.Subsumed_by -> false
+  in
   let n = Array.length compiled in
   let swapped = ref true in
   while !swapped do
@@ -124,7 +145,7 @@ let build filters =
         = Program.priority (Validate.program vb)
         && (Fast.analysis fa).Analysis.cost_bound
            > (Fast.analysis fb).Analysis.cost_bound
-        && Analysis.relate va vb = Analysis.Disjoint
+        && proven_disjoint va vb
       then begin
         let tmp = compiled.(i) in
         compiled.(i) <- compiled.(i + 1);

@@ -20,10 +20,12 @@ val build : (Validate.t * 'a) list -> 'a t
 (** [build filters] orders filters by decreasing {!Program.priority},
     breaking ties by list position (matching the kernel's demux loop) —
     then improves ties the kernel's loop cannot: adjacent equal-priority
-    filters whose accept sets {!Analysis.relate} proves {e disjoint} are
-    reordered cheapest-first by {!Analysis.t.cost_bound}. Disjointness
-    means at most one of the pair accepts any packet, so the swap cannot
-    change the verdict, only lower the expected demux cost. *)
+    filters whose accept sets are proved {e disjoint} — by
+    {!Analysis.relate}, or, where it answers [Unknown], by the symbolic
+    path engine ({!Equiv.relate}) — are reordered cheapest-first by
+    {!Analysis.t.cost_bound}. Disjointness means at most one of the pair
+    accepts any packet, so the swap cannot change the verdict, only lower
+    the expected demux cost. *)
 
 val size : 'a t -> int
 (** Number of filters. *)

@@ -24,6 +24,13 @@ let is_pure_const_push (insn : Insn.t) =
 
 exception Bail (* static underflow: not a valid program, leave it alone *)
 
+module For_testing = struct
+  (* A deliberately wrong strength reduction — [pushlit 2] "reduced" to
+     [pushone] — used to pin down that translation validation refutes a
+     miscompiling pass with a concrete witness packet. *)
+  let miscompile_literal_two = ref false
+end
+
 (* One pass. Returns the rewritten instruction list and whether anything
    changed. *)
 let pass insns =
@@ -47,6 +54,9 @@ let pass insns =
        let insn = arr.(!i) in
        (* Strength-reduce literal pushes of the special constants. *)
        (match insn.Insn.action with
+       | Action.Pushlit 2 when !For_testing.miscompile_literal_two ->
+         arr.(!i) <- { insn with Insn.action = Action.Pushone };
+         changed := true
        | Action.Pushlit v when const_push_action v <> Action.Pushlit v ->
          arr.(!i) <- { insn with Insn.action = const_push_action v };
          changed := true
@@ -166,3 +176,19 @@ let optimize_with_report program =
       words_before = Program.code_words program;
       words_after = Program.code_words optimized;
     } )
+
+let optimize_certified ?budget program =
+  let optimized = optimize program in
+  if Program.equal optimized program then (optimized, Equiv.Certified)
+  else
+    match (Validate.check program, Validate.check optimized) with
+    | Error _, _ ->
+      (* [optimize] already leaves invalid programs alone, so the rewrite
+         of one is vacuous; nothing to certify. *)
+      (optimized, Equiv.Uncertified "input program does not validate")
+    | _, Error _ -> (program, Equiv.Uncertified "optimized program does not validate")
+    | Ok v, Ok vopt -> (
+      match Equiv.certification_of_report (Equiv.check_programs ?budget v vopt) with
+      | Equiv.Certified -> (optimized, Equiv.Certified)
+      | Equiv.Refuted w -> (program, Equiv.Refuted w)
+      | Equiv.Uncertified _ as u -> (optimized, u))

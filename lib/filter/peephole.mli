@@ -35,3 +35,20 @@ type report = {
 }
 
 val optimize_with_report : Program.t -> Program.t * report
+
+val optimize_certified :
+  ?budget:int -> Program.t -> Program.t * Equiv.certification
+(** [optimize] under translation validation: the result is checked
+    equivalent to the input with {!Equiv.check_programs}. On
+    {!Equiv.Refuted} the {e original} program is returned alongside the
+    witness packet — a miscompilation never ships. [Uncertified] keeps the
+    optimized program (the check fell short of a proof, e.g. on path
+    budget; the string says why), trusting the pass's own property tests.
+    [?budget] is the per-side path budget ({!Equiv.default_budget}). *)
+
+(** Test-only hooks. *)
+module For_testing : sig
+  val miscompile_literal_two : bool ref
+  (** When set, [pass] wrongly strength-reduces [pushlit 2] to [pushone] —
+      a seeded miscompilation the certification layer must refute. *)
+end

@@ -530,3 +530,35 @@ let raise_program validated =
         (Analysis.analyze vc).Analysis.cost_bound > facts.Analysis.cost_bound
       then fallback
       else (candidate, report))
+
+let optimize_certified ?budget validated =
+  let ir, report = optimize validated in
+  match Equiv.certification_of_report (Equiv.check_ir ?budget validated ir) with
+  | Equiv.Certified -> ((ir, report), Equiv.Certified)
+  | Equiv.Refuted w ->
+    (* Never ship a refuted optimization: fall back to plain lowering,
+       whose shape Regvm executes just as well. *)
+    ((Ir.lower validated, { report with fell_back = true }), Equiv.Refuted w)
+  | Equiv.Uncertified _ as u -> ((ir, report), u)
+
+let raise_program_certified ?budget validated =
+  let raised, report = raise_program validated in
+  let original = Validate.program validated in
+  if Program.equal raised original then
+    (* [raise_program] already fell back (or round-tripped exactly);
+       nothing changed, so there is nothing to certify. *)
+    ((raised, report), Equiv.Certified)
+  else
+    match Validate.check raised with
+    | Error _ ->
+      ((original, { report with fell_back = true }),
+       Equiv.Uncertified "raised program does not validate")
+    | Ok vraised -> (
+      match
+        Equiv.certification_of_report
+          (Equiv.check_programs ?budget validated vraised)
+      with
+      | Equiv.Certified -> ((raised, report), Equiv.Certified)
+      | Equiv.Refuted w ->
+        ((original, { report with fell_back = true }), Equiv.Refuted w)
+      | Equiv.Uncertified _ as u -> ((raised, report), u))

@@ -73,3 +73,17 @@ val raise_program : Validate.t -> Program.t * report
     fallback described above. The result always validates, never has more
     code words than the source, never a larger {!Analysis.t.cost_bound},
     and keeps the [`Paper] verdict on every packet. *)
+
+val optimize_certified :
+  ?budget:int -> Validate.t -> (Ir.t * report) * Equiv.certification
+(** [optimize] under translation validation: the optimized IR is checked
+    against the source program with {!Equiv.check_ir}. On {!Equiv.Refuted}
+    the unoptimized lowering ({!Ir.lower}, with [fell_back] set) is
+    returned alongside the witness packet; [Uncertified] keeps the
+    optimized IR and says why the check fell short (e.g. path budget). *)
+
+val raise_program_certified :
+  ?budget:int -> Validate.t -> (Program.t * report) * Equiv.certification
+(** [raise_program] under translation validation against the original
+    program. Refuted rewrites fall back to the original (with [fell_back]
+    set); a raise that already fell back certifies trivially. *)

@@ -274,6 +274,85 @@ let check ?(extra = []) program packet =
         | Ok vopt ->
           check "peephole-interp" (fun () -> Interp.accepts ~semantics:`Paper opt packet);
           check "peephole-fast" (fun () -> Fast.run (Fast.compile vopt) packet)));
+      (* Symbolic path engine: the enumerated paths must partition packets
+         and predict the interpreter. A completed enumeration must contain
+         exactly one path this packet satisfies, with the reference
+         verdict; an incomplete one may miss the packet's path but its
+         prefix is still exact and exclusive. *)
+      let symex_budget = 192 in
+      (match
+         attempt "symex" (fun () ->
+           Symex.run ~budget:symex_budget (Symex.Ctx.create ()) v)
+       with
+      | None -> ()
+      | Some outcome -> (
+        match
+          List.filter
+            (fun (p : Symex.path) -> Symex.satisfies p.Symex.cond packet)
+            outcome.Symex.paths
+        with
+        | [ p ] ->
+          if p.Symex.accept <> reference then
+            fail "symex"
+              (Printf.sprintf "satisfied path claims %b, interpreter says %b"
+                 p.Symex.accept reference)
+        | [] ->
+          if outcome.Symex.complete then
+            fail "symex" "complete enumeration, but no path admits this packet"
+        | paths ->
+          fail "symex"
+            (Printf.sprintf
+               "%d paths admit this packet; paths must be mutually exclusive"
+               (List.length paths))));
+      (* Translation validation over the shipped rewrites: a filter is
+         always provably equivalent to itself (modulo path budget), and no
+         optimizer output may ever be refuted — a confirmed witness packet
+         here is a miscompilation, reported with the witness so it feeds
+         the shrinker and the regression corpus. *)
+      let budget_limited (r : Equiv.report) =
+        List.exists
+          (function Equiv.Path_budget _ | Equiv.Pair_budget -> true | _ -> false)
+          r.Equiv.reasons
+      in
+      let expect_equiv name ~require_proof left right =
+        match
+          attempt name (fun () ->
+            Equiv.check ~budget:symex_budget ~pair_budget:1024 left right)
+        with
+        | None -> ()
+        | Some r -> (
+          match r.Equiv.verdict with
+          | Equiv.Proved_equal -> ()
+          | Equiv.Counterexample w ->
+            fail name
+              (Format.asprintf
+                 "confirmed counterexample witness %a (left=%b right=%b)"
+                 Packet.pp_hex w (Equiv.run_side left w)
+                 (Equiv.run_side right w))
+          | Equiv.Unknown ->
+            if require_proof && not (budget_limited r) then
+              fail name
+                (Format.asprintf "expected a proof, got %a" Equiv.pp_report r))
+      in
+      expect_equiv "equiv-self" ~require_proof:true (Equiv.Prog v) (Equiv.Prog v);
+      (match Validate.check (Peephole.optimize program) with
+      | Ok vopt ->
+        expect_equiv "equiv-peephole" ~require_proof:false (Equiv.Prog v)
+          (Equiv.Prog vopt)
+      | Error _ -> () (* peephole-validate above already flagged it *));
+      (match attempt "equiv-raise" (fun () -> fst (Regopt.raise_program v)) with
+      | Some raised -> (
+        match Validate.check raised with
+        | Ok vr ->
+          expect_equiv "equiv-raise" ~require_proof:false (Equiv.Prog v)
+            (Equiv.Prog vr)
+        | Error _ -> () (* the raise round-trip block already flagged it *))
+      | None -> ());
+      (match attempt "equiv-ir" (fun () -> fst (Regopt.optimize v)) with
+      | Some ir ->
+        expect_equiv "equiv-ir" ~require_proof:false (Equiv.Prog v)
+          (Equiv.Ir_prog ir)
+      | None -> ());
       (* Wire codec round-trip: encode/decode must be the identity on
          validated programs, and the decoded program must agree. *)
       (match Program.decode (Program.encode program) with

@@ -28,6 +28,9 @@ type port = {
   mutable insns_compiled : int;
   mutable validated : Pf_filter.Validate.t option;
   mutable analysis : Pf_filter.Analysis.t option;
+  mutable certification : Pf_filter.Equiv.certification option;
+      (* translation-validation outcome of the install-time compilation;
+         None when the device was not certifying at install time *)
   mutable priority : int;
   mutable timeout : Pf_sim.Time.t option;
   mutable queue_limit : int;
@@ -56,6 +59,7 @@ and t = {
   mutable demuxed_since_reorder : int;
   mutable strategy : [ `Sequential | `Decision_tree ];
   mutable compile_strategy : [ `Off | `Raise_only | `Regvm ];
+  mutable certify : bool; (* translation-validate install-time compilation *)
   mutable tree : port Pf_filter.Decision.t option; (* cache; None = dirty *)
   mutable cost_limit : int option; (* admission bound on a filter's cost_bound *)
   cache : flow_cache;
@@ -103,6 +107,7 @@ let create engine cpu costs stats ~variant ~address ~send =
     demuxed_since_reorder = 0;
     strategy = `Sequential;
     compile_strategy = `Off;
+    certify = false;
     tree = None;
     cost_limit = None;
     cache =
@@ -196,6 +201,7 @@ let open_port t =
       insns_compiled = 0;
       validated = None;
       analysis = None;
+      certification = None;
       priority = 0;
       timeout = None;
       queue_limit = 32;
@@ -253,35 +259,71 @@ let install port program =
        [`Regvm] additionally compiles the optimized IR for direct register
        execution on the sequential walk; the stack compilation is kept for
        the decision-tree path and the status surface. *)
-    let fast, regvm, kind, compiled_insns =
+    let fast, regvm, kind, compiled_insns, certification =
       match t.compile_strategy with
       | `Off ->
         ( Pf_filter.Fast.compile validated,
           None,
           `Stack,
-          Pf_filter.Program.insn_count program )
+          Pf_filter.Program.insn_count program,
+          (* identity compilation: trivially meaning-preserving *)
+          if t.certify then Some Pf_filter.Equiv.Certified else None )
       | `Raise_only -> (
-        let raised, _report = Pf_filter.Regopt.raise_program validated in
+        let raised, certification =
+          if t.certify then
+            let (raised, _report), cert =
+              Pf_filter.Regopt.raise_program_certified validated
+            in
+            (raised, Some cert)
+          else (fst (Pf_filter.Regopt.raise_program validated), None)
+        in
         match Pf_filter.Validate.check raised with
         | Ok vr ->
           ( Pf_filter.Fast.compile vr,
             None,
             `Raised,
-            Pf_filter.Program.insn_count raised )
+            Pf_filter.Program.insn_count raised,
+            certification )
         | Error _ ->
           (* Regopt guarantees the raised program validates; defensively
              keep the original if that invariant ever breaks. *)
           ( Pf_filter.Fast.compile validated,
             None,
             `Stack,
-            Pf_filter.Program.insn_count program ))
-      | `Regvm ->
+            Pf_filter.Program.insn_count program,
+            certification ))
+      | `Regvm -> (
         let rvm = Pf_filter.Regvm.compile validated in
-        ( Pf_filter.Fast.compile validated,
-          Some rvm,
-          `Regvm,
-          Pf_filter.Ir.instr_count (Pf_filter.Regvm.ir rvm) )
+        let certification =
+          if t.certify then
+            Some
+              (Pf_filter.Equiv.certification_of_report
+                 (Pf_filter.Equiv.check_ir validated (Pf_filter.Regvm.ir rvm)))
+          else None
+        in
+        match certification with
+        | Some (Pf_filter.Equiv.Refuted _) ->
+          (* A refuted IR compilation never runs: keep the checked stack
+             engine for this port and surface the witness. *)
+          ( Pf_filter.Fast.compile validated,
+            None,
+            `Stack,
+            Pf_filter.Program.insn_count program,
+            certification )
+        | _ ->
+          ( Pf_filter.Fast.compile validated,
+            Some rvm,
+            `Regvm,
+            Pf_filter.Ir.instr_count (Pf_filter.Regvm.ir rvm),
+            certification ))
     in
+    (match certification with
+    | None -> ()
+    | Some Pf_filter.Equiv.Certified -> Stats.incr t.stats "pf.certify.proved"
+    | Some (Pf_filter.Equiv.Refuted _) ->
+      Stats.incr t.stats "pf.certify.refuted"
+    | Some (Pf_filter.Equiv.Uncertified _) ->
+      Stats.incr t.stats "pf.certify.unknown");
     (* Admission and the status surface use the analysis of the program the
        sequential walk actually interprets (for [`Raise_only] the raised
        one — its cost bound is never larger, and its read set is sound for
@@ -304,6 +346,7 @@ let install port program =
       port.insns_compiled <- compiled_insns;
       port.validated <- Some (Pf_filter.Fast.validated fast);
       port.analysis <- Some analysis;
+      port.certification <- certification;
       reprioritize t port (Pf_filter.Program.priority program);
       if not !For_testing.skip_install_invalidation then invalidate_cache t;
       Ok analysis)
@@ -312,6 +355,7 @@ let set_filter port program =
   match install port program with Ok _ -> Ok () | Error _ as e -> e
 
 let port_analysis port = port.analysis
+let port_certification port = port.certification
 let port_id port = port.id
 let port_accepted port = port.accepted
 let port_dropped port = port.dropped
@@ -337,6 +381,9 @@ let set_compile_strategy t strategy =
   end
 
 let compile_strategy t = t.compile_strategy
+
+let set_certify t certify = t.certify <- certify
+let certify t = t.certify
 
 type engine_stats = {
   engine : [ `Stack | `Raised | `Regvm ];

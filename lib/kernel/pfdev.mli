@@ -59,6 +59,13 @@ val set_cost_limit : t -> int option -> unit
 val port_analysis : port -> Pf_filter.Analysis.t option
 (** Analysis of the installed filter, recorded at installation time. *)
 
+val port_certification : port -> Pf_filter.Equiv.certification option
+(** Translation-validation outcome of the install-time compilation,
+    recorded when the device was certifying ({!set_certify}) — [None]
+    otherwise. [Refuted] means the optimized form was {e rejected} and the
+    port runs a fallback engine; the witness packet is kept for
+    diagnosis. *)
+
 val port_id : port -> int
 (** Stable identifier, for correlating {!filter_relations} output. *)
 
@@ -103,6 +110,21 @@ val set_compile_strategy : t -> [ `Off | `Raise_only | `Regvm ] -> unit
     change — only their simulated cost. *)
 
 val compile_strategy : t -> [ `Off | `Raise_only | `Regvm ]
+
+val set_certify : t -> bool -> unit
+(** When enabled, {!install} translation-validates whatever the compile
+    strategy produced against the installed program
+    ({!Pf_filter.Equiv}): a proof increments the device stat
+    ["pf.certify.proved"], a confirmed counterexample increments
+    ["pf.certify.refuted"] {e and} makes the port fall back to an
+    unoptimized engine (the raised program falls back inside
+    {!Pf_filter.Regopt.raise_program_certified}; a refuted [`Regvm]
+    compilation keeps the checked stack engine), and an inconclusive check
+    increments ["pf.certify.unknown"] and keeps the optimized form. The
+    outcome is recorded on the port ({!port_certification}). Applies to
+    installs {e after} the call. Default: off. *)
+
+val certify : t -> bool
 
 type engine_stats = {
   engine : [ `Stack | `Raised | `Regvm ];  (** how this port was compiled *)

@@ -21,4 +21,5 @@ let () =
       Test_differential.suite;
       Test_analysis.suite;
       Test_ir.suite;
+      Test_symex.suite;
     ]
