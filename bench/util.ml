@@ -140,3 +140,17 @@ let write_json_filtered path ~prefix =
   with
   | [] -> ()
   | rows -> write_rows path rows
+
+(* The complement: everything NOT under any of [prefixes] — the shared
+   artifact for the experiments that predate per-experiment files. Each
+   metric family must land in exactly one BENCH_*.json (CI diffs them
+   pairwise), so every new family either gets its own filtered file or is
+   excluded from none. *)
+let write_json_excluding path ~prefixes =
+  match
+    List.filter
+      (fun (k, _) -> not (List.exists (fun prefix -> String.starts_with ~prefix k) prefixes))
+      (List.rev !json_metrics)
+  with
+  | [] -> ()
+  | rows -> write_rows path rows

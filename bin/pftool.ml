@@ -428,6 +428,56 @@ let cache_cmd =
           disables it)")
     Term.(const run $ files $ builtin)
 
+let dispatch_cmd =
+  let files =
+    Arg.(value & pos_all string [] & info [] ~docv:"FILE" ~doc:"Filter sources to compile.")
+  in
+  let builtin =
+    Arg.(value & flag
+         & info [ "builtin" ]
+             ~doc:"Also compile the built-in filters (the paper's figures and every \
+                   filter the examples install).")
+  in
+  let run files builtin =
+    let targets =
+      List.map (fun f -> (f, read_program f)) files
+      @ (if builtin then builtin_filters else [])
+    in
+    if targets = [] then begin
+      Printf.eprintf "pftool: nothing to compile (give FILE arguments or --builtin)\n";
+      exit 2
+    end;
+    (* Compile the whole set into the cross-filter dispatch automaton, as a
+       [`Dispatch]-strategy device would, and show what became of each
+       filter: indexed (on which guard words), shadowed, residual, or
+       dropped — then the group/slot structure classification pays for. *)
+    let entries, invalid =
+      List.fold_left
+        (fun (entries, invalid) (name, program) ->
+          match Validate.check program with
+          | Error e ->
+            Format.printf "%-28s INVALID: %a@." name Validate.pp_error e;
+            (entries, invalid + 1)
+          | Ok v -> (entries @ [ (v, name) ], invalid))
+        ([], 0) targets
+    in
+    let d = Pf_filter.Dispatch.build entries in
+    List.iter
+      (fun (_, name, decision) ->
+        Format.printf "%-28s %a@." name Pf_filter.Dispatch.pp_decision decision)
+      (Pf_filter.Dispatch.decisions d);
+    Format.printf "@.%a" Pf_filter.Dispatch.pp_info (Pf_filter.Dispatch.info d);
+    if invalid > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "dispatch"
+       ~doc:
+         "Compile a filter set into the cross-filter dispatch automaton and \
+          show each filter's fate (indexed / shadowed / residual / dropped) \
+          and the group structure that makes demultiplexing sublinear in the \
+          number of filters")
+    Term.(const run $ files $ builtin)
+
 let equiv_cmd =
   let file_a =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"A" ~doc:"First filter source.")
@@ -658,4 +708,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ asm_cmd; disasm_cmd; run_cmd; compile_cmd; fields_cmd; examples_cmd; lint_cmd;
-            cache_cmd; ir_cmd; equiv_cmd; verify_cmd ]))
+            cache_cmd; dispatch_cmd; ir_cmd; equiv_cmd; verify_cmd ]))

@@ -164,6 +164,14 @@ val relate : Validate.t -> Validate.t -> relation
     trailing [EQ] pair) is necessary for acceptance, and when such a chain
     is the whole program it is also sufficient. *)
 
+val guards : Program.t -> (int * int) list * bool
+(** The leading [(word index, required value)] guard chain of a program —
+    each pair is a {e necessary} condition for acceptance (a mismatched or
+    missing word rejects) — and whether the chain is the {e whole} program,
+    in which case the conditions are also {e sufficient} (every packet
+    matching the chain is accepted). The foundation of {!relate} and of the
+    cross-filter dispatch automaton ({!Dispatch}). *)
+
 val pp_relation : Format.formatter -> relation -> unit
 
 (** {1 Test hooks} *)

@@ -1,0 +1,132 @@
+(** The cross-filter dispatch automaton: sublinear demultiplexing over the
+    whole installed port set.
+
+    {!Decision} makes demux cheaper per filter; this module makes it
+    cheaper {e in the number of filters}. The entire active set is compiled
+    into one shared-prefix dispatch structure over read-set words (in the
+    spirit of BPF+'s CFG merging): filters are grouped by the {e offset
+    signature} of their leading guard chain ({!Analysis.guards}), and each
+    group keeps one hash table from the packet words at those offsets to
+    the filters requiring exactly those values. Classifying a packet then
+    costs one probe per group — independent of how many filters share the
+    group — plus running the few same-slot candidate programs.
+
+    Soundness is the guard-chain theorem {!Analysis.relate} is built on:
+
+    - a guard is {e necessary}, so a filter whose slot does not match the
+      packet (or whose guard word is missing) provably rejects — skipping
+      it is exactly {!Analysis.relation.Disjoint}'s conflicting-guards
+      argument, which is why hash dispatch across slots needs no order;
+    - when the chain is the {e whole} program it is also {e sufficient},
+      so an [exact] entry accepts on slot match with zero interpretation;
+    - entries sharing a slot stay in walk order, and a later entry is
+      dropped only when {!Analysis.relate} — upgraded by the symbolic
+      engine ({!Equiv.relate}) where it answers [Unknown] — proves an
+      earlier same-slot entry [Subsumes] it (or is [Equivalent]): the
+      earlier, first-match entry then wins every packet the later one
+      could.
+
+    Everything that cannot be indexed soundly — unbounded read sets,
+    empty or unprovable guard chains, and entries the caller excludes
+    (copy-all and tap ports in {!Pf_kernel.Pfdev}) — falls back to the
+    ordered per-port residual walk, exposed by {!residuals} so the caller
+    can merge it with the automaton winner by rank. *)
+
+type 'a t
+
+type residual_reason =
+  [ `Unbounded  (** the filter's {!Analysis.read_set} is [Unbounded] *)
+  | `No_chain  (** no leading guard chain — nothing provably sharable *)
+  | `Excluded  (** the caller's [indexable] predicate said no *) ]
+
+(** What {!build} decided for one input filter, in rank order. *)
+type decision =
+  | Indexed of { offsets : int list; exact : bool }
+      (** member of the group keyed on [offsets]; [exact] entries accept
+          on slot match without running the program *)
+  | Shadowed of { by : int }
+      (** same-slot entry proven subsumed by the entry at rank [by];
+          dropped — it can never win a packet *)
+  | Residual of residual_reason  (** walked per-port, in rank order *)
+  | Never_accepts
+      (** [Always_reject] verdict or a self-contradictory guard chain;
+          dropped from both the automaton and the residual walk *)
+
+val build : ?indexable:('a -> bool) -> (Validate.t * 'a) list -> 'a t
+(** [build filters] orders filters by decreasing {!Program.priority},
+    breaking ties by list position (matching the kernel's walk), then
+    indexes every filter it can prove safe to index and classifies the
+    rest per {!decision}. [indexable] (default: everything) lets the
+    caller veto indexing per value — {!Pf_kernel.Pfdev} excludes copy-all
+    and tap ports, whose multi-delivery the first-match automaton cannot
+    express. *)
+
+val size : 'a t -> int
+(** Number of input filters. *)
+
+val residuals : 'a t -> (int * 'a) list
+(** The non-indexed entries as [(rank, value)], in rank (walk) order.
+    Ranks are shared with {!classify}'s winner, so the caller can
+    interleave the residual walk with the automaton's answer. *)
+
+val decisions : 'a t -> (int * 'a * decision) list
+(** Per-filter build decisions in rank order (the [pftool dispatch]
+    inspection surface). *)
+
+type stats = {
+  probes : int;  (** group hash probes performed *)
+  hash_words : int;  (** packet words read while forming slot keys *)
+  exact_accepts : int;  (** 1 when the winner was an exact entry *)
+  candidates_run : int;  (** same-slot candidate programs interpreted *)
+  insns : int;  (** instructions those candidates executed *)
+}
+
+val classify :
+  ?on_run:('a -> insns:int -> unit) ->
+  'a t ->
+  Pf_pkt.Packet.t ->
+  (int * 'a) option * stats
+(** The lowest-rank {e indexed} filter accepting the packet, with its
+    rank, or [None] when no indexed filter accepts. The caller must still
+    walk {!residuals} of lower rank than the winner to preserve
+    first-match semantics. [on_run] is invoked for every candidate program
+    actually interpreted (the kernel uses it for per-port engine
+    accounting); exact entries accept without any interpretation. *)
+
+(** {1 Inspection} *)
+
+type group_info = {
+  offsets : int list;  (** the shared guard-word signature *)
+  slots : int;  (** distinct guard-value tuples *)
+  members : int;  (** indexed entries across the slots, post-shadowing *)
+  exact_members : int;
+}
+
+type info = {
+  filters : int;
+  indexed : int;
+  residual : int;
+  residual_unbounded : int;
+  residual_no_chain : int;
+  residual_excluded : int;
+  never_accepts : int;
+  shadowed : int;
+  max_prefix_depth : int;  (** deepest shared guard prefix, in words *)
+  groups : group_info list;  (** sorted by offset signature *)
+}
+
+val info : 'a t -> info
+val pp_info : Format.formatter -> info -> unit
+val pp_decision : Format.formatter -> decision -> unit
+
+(** {1 Test hooks} *)
+
+module For_testing : sig
+  val unsound_prefix_sharing : bool ref
+  (** When set, {!classify} treats every slot-matched entry as [exact] —
+      accepting on guard-prefix match without running the rest of the
+      program, the unsound sharing this module's [exact] distinction
+      exists to prevent. The differential suite flips this to prove the
+      automaton/linear-walk oracle catches it; never set it outside
+      tests. *)
+end

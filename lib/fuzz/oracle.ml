@@ -256,6 +256,73 @@ let check ?(extra = []) program packet =
           if cs.Pf_kernel.Pfdev.hits <> 0 then
             fail "demux-cache"
               "unbounded read set must bypass the cache, yet the probe hit"));
+      (* The cross-filter dispatch automaton: the same packet demuxed
+         through the automaton (cache off and on) must agree with the
+         sequential walk on verdicts and on exact per-port delivery and
+         drop accounting — including a copy-all port the automaton cannot
+         index, which exercises the rank-merged residual walk. This is the
+         oracle that catches the seeded unsound-prefix-sharing mutant
+         (accepting an indexed candidate on its guard prefix alone). *)
+      (match
+         attempt "demux-dispatch" (fun () ->
+             let mk strategy ~cache =
+               let eng = Pf_sim.Engine.create () in
+               let costs = Pf_sim.Costs.free in
+               let cpu = Pf_sim.Cpu.create costs in
+               let stats = Pf_sim.Stats.create () in
+               let dev =
+                 Pf_kernel.Pfdev.create eng cpu costs stats
+                   ~variant:Pf_net.Frame.Exp3 ~address:(Pf_net.Addr.exp 1)
+                   ~send:(fun _ -> ())
+               in
+               Pf_kernel.Pfdev.set_cache_enabled dev cache;
+               let add ~copy_all =
+                 let port = Pf_kernel.Pfdev.open_port dev in
+                 if copy_all then Pf_kernel.Pfdev.set_copy_all port true;
+                 Pf_kernel.Pfdev.set_queue_limit port 1;
+                 (match Pf_kernel.Pfdev.set_filter port program with
+                 | Ok () -> ()
+                 | Error e ->
+                   failwith
+                     (Format.asprintf "install: %a" Pf_kernel.Pfdev.pp_install_error e));
+                 port
+               in
+               let monitor = add ~copy_all:true in
+               let consumer = add ~copy_all:false in
+               Pf_kernel.Pfdev.set_strategy dev strategy;
+               (eng, monitor, consumer, dev)
+             in
+             let sample (eng, monitor, consumer, dev) =
+               let cold = Pf_kernel.Pfdev.demux dev packet in
+               let warm = Pf_kernel.Pfdev.demux dev packet in
+               Pf_sim.Engine.run eng;
+               ignore (dev : Pf_kernel.Pfdev.t);
+               ( (cold, warm),
+                 ( Pf_kernel.Pfdev.port_accepted monitor,
+                   Pf_kernel.Pfdev.port_dropped monitor ),
+                 ( Pf_kernel.Pfdev.port_accepted consumer,
+                   Pf_kernel.Pfdev.port_dropped consumer ) )
+             in
+             let seq = sample (mk `Sequential ~cache:false) in
+             let auto = sample (mk `Dispatch ~cache:false) in
+             let auto_cached = sample (mk `Dispatch ~cache:true) in
+             (seq, auto, auto_cached))
+       with
+      | None -> ()
+      | Some (seq, auto, auto_cached) ->
+        let show ((cold, warm), (macc, mdrop), (cacc, cdrop)) =
+          Printf.sprintf
+            "verdicts (%b,%b), monitor accepted/dropped %d/%d, consumer %d/%d"
+            cold warm macc mdrop cacc cdrop
+        in
+        if auto <> seq then
+          fail "demux-dispatch"
+            (Printf.sprintf "automaton: %s; sequential walk: %s" (show auto)
+               (show seq));
+        if auto_cached <> seq then
+          fail "demux-dispatch"
+            (Printf.sprintf "automaton+cache: %s; sequential walk: %s"
+               (show auto_cached) (show seq)));
       List.iter (fun (name, engine) -> check name (fun () -> engine v packet)) extra;
       (* Peephole pre-pass: the optimized program must still validate, must
          not grow, and must keep the verdict under both the checked and the

@@ -19,6 +19,11 @@
       cache-disabled device, which must agree on the verdict, on per-port
       accept counts, and on overflow-drop accounting, and the warm probe
       must hit exactly when the read set is bounded,
+    - the {!Pf_kernel.Pfdev} [`Dispatch] strategy: the cross-filter
+      dispatch automaton ({!Pf_filter.Dispatch}) — cache off and cache on
+      — must agree with the sequential walk on verdicts, per-port accept
+      counts, and overflow-drop accounting, on a device holding both a
+      copy-all (residual) and a plain (indexable) port,
     - the {!Pf_filter.Peephole} pre-pass followed by the checked and fast
       interpreters,
     - the {!Pf_filter.Regvm} register VM over the optimized

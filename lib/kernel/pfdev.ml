@@ -57,13 +57,26 @@ and t = {
   mutable ports : port list; (* sorted: priority desc, then id asc *)
   mutable next_id : int;
   mutable demuxed_since_reorder : int;
-  mutable strategy : [ `Sequential | `Decision_tree ];
+  mutable strategy : [ `Sequential | `Decision_tree | `Dispatch ];
   mutable compile_strategy : [ `Off | `Raise_only | `Regvm ];
   mutable certify : bool; (* translation-validate install-time compilation *)
   mutable tree : port Pf_filter.Decision.t option; (* cache; None = dirty *)
+  mutable dispatch : dispatch_state;
+  mutable dispatch_rebuilds : int;
+  mutable dispatch_classifies : int;
+  mutable dispatch_exact_accepts : int;
+  mutable dispatch_candidates : int;
+  mutable dispatch_residual_runs : int;
   mutable cost_limit : int option; (* admission bound on a filter's cost_bound *)
   cache : flow_cache;
 }
+
+(* The cross-filter dispatch automaton ({!Pf_filter.Dispatch}), rebuilt
+   lazily on first use after any acceptor-changing mutation — exactly the
+   flow cache's invalidation set, so [invalidate_cache] marks it dirty. *)
+and dispatch_state =
+  | Dispatch_dirty
+  | Dispatch_built of port Pf_filter.Dispatch.t
 
 (* The demultiplexing flow cache: a bounded table from the packet bytes at
    the installed filters' union read set to the list of accepting ports.
@@ -109,6 +122,12 @@ let create engine cpu costs stats ~variant ~address ~send =
     compile_strategy = `Off;
     certify = false;
     tree = None;
+    dispatch = Dispatch_dirty;
+    dispatch_rebuilds = 0;
+    dispatch_classifies = 0;
+    dispatch_exact_accepts = 0;
+    dispatch_candidates = 0;
+    dispatch_residual_runs = 0;
     cost_limit = None;
     cache =
       {
@@ -135,6 +154,9 @@ module For_testing = struct
 end
 
 let invalidate_cache t =
+  (* The dispatch automaton is sound under exactly the invariants the flow
+     cache is, so the two share one invalidation set. *)
+  t.dispatch <- Dispatch_dirty;
   let c = t.cache in
   c.key_state <- Dirty;
   c.generation <- c.generation + 1;
@@ -455,6 +477,28 @@ let cache_stats t =
     evictions = c.evictions;
   }
 
+type dispatch_stats = {
+  rebuilds : int;
+  classifies : int;
+  exact_accepts : int;
+  candidates_run : int;
+  residual_runs : int;
+}
+
+let dispatch_stats t =
+  {
+    rebuilds = t.dispatch_rebuilds;
+    classifies = t.dispatch_classifies;
+    exact_accepts = t.dispatch_exact_accepts;
+    candidates_run = t.dispatch_candidates;
+    residual_runs = t.dispatch_residual_runs;
+  }
+
+let pp_dispatch_stats ppf s =
+  Format.fprintf ppf
+    "dispatch: %d rebuilds, %d classifies, %d exact accepts, %d candidates run, %d residual runs"
+    s.rebuilds s.classifies s.exact_accepts s.candidates_run s.residual_runs
+
 let pp_cache_stats ppf s =
   Format.fprintf ppf
     "flow cache: %s, %d/%d entries, %d hits / %d misses / %d bypasses, %d invalidations, %d evictions"
@@ -497,6 +541,32 @@ let tree_of t =
     let tree = Pf_filter.Decision.build entries in
     t.tree <- Some tree;
     tree
+
+(* The whole-port-set dispatch automaton. Copy-all and tap ports are
+   excluded from indexing (their multi-delivery cannot be expressed by a
+   first-match winner) and fall to the rank-ordered residual walk, which
+   [demux] merges with the automaton winner by rank. *)
+let dispatch_of t =
+  match t.dispatch with
+  | Dispatch_built d -> d
+  | Dispatch_dirty ->
+    let entries =
+      List.filter_map
+        (fun p ->
+          match p.validated with
+          | Some v when p.is_open -> Some (v, p)
+          | Some _ | None -> None)
+        t.ports
+    in
+    let d =
+      Pf_filter.Dispatch.build
+        ~indexable:(fun p -> (not p.copy_all) && not p.tap)
+        entries
+    in
+    t.dispatch <- Dispatch_built d;
+    t.dispatch_rebuilds <- t.dispatch_rebuilds + 1;
+    Stats.incr t.stats "pf.dispatch.rebuild";
+    d
 
 (* Recompute the union read set of every installed filter. A port with no
    filter accepts nothing and reads nothing, so it does not constrain the
@@ -581,40 +651,44 @@ let demux t ?(kernel_claimed = false) frame =
          sequential strategy; the tree is keyed on guards, not position. *)
       if t.strategy = `Sequential then maybe_reorder t;
       let acceptors = ref [] in
+      let run_port_filter port =
+        Stats.incr t.stats "pf.filters_tested";
+        let ok, insns =
+          match port.regvm with
+          | Some rvm ->
+            cpu_cost := !cpu_cost + costs.Costs.regvm_apply;
+            let ok, insns = Pf_filter.Regvm.run_counted rvm frame in
+            cpu_cost := !cpu_cost + (insns * costs.Costs.regvm_insn);
+            Stats.incr ~by:insns t.stats "pf.regvm_insns";
+            (ok, insns)
+          | None ->
+            let filter = Option.get port.filter in
+            cpu_cost := !cpu_cost + costs.Costs.filter_apply;
+            let ok, insns = Pf_filter.Fast.run_counted filter frame in
+            cpu_cost := !cpu_cost + (insns * costs.Costs.filter_insn);
+            (ok, insns)
+        in
+        Stats.incr ~by:insns t.stats "pf.filter_insns";
+        port.engine_applications <- port.engine_applications + 1;
+        port.engine_insns <- port.engine_insns + insns;
+        ok
+      in
+      let accept port =
+        port.accepted <- port.accepted + 1;
+        if port.timestamps then cpu_cost := !cpu_cost + costs.Costs.timestamp;
+        acceptors := port :: !acceptors
+      in
       let rec apply = function
         | [] -> ()
         | port :: rest ->
           if (not port.is_open) || port.filter = None || (kernel_claimed && not port.tap)
           then apply rest
-          else begin
-            Stats.incr t.stats "pf.filters_tested";
-            let ok, insns =
-              match port.regvm with
-              | Some rvm ->
-                cpu_cost := !cpu_cost + costs.Costs.regvm_apply;
-                let ok, insns = Pf_filter.Regvm.run_counted rvm frame in
-                cpu_cost := !cpu_cost + (insns * costs.Costs.regvm_insn);
-                Stats.incr ~by:insns t.stats "pf.regvm_insns";
-                (ok, insns)
-              | None ->
-                let filter = Option.get port.filter in
-                cpu_cost := !cpu_cost + costs.Costs.filter_apply;
-                let ok, insns = Pf_filter.Fast.run_counted filter frame in
-                cpu_cost := !cpu_cost + (insns * costs.Costs.filter_insn);
-                (ok, insns)
-            in
-            Stats.incr ~by:insns t.stats "pf.filter_insns";
-            port.engine_applications <- port.engine_applications + 1;
-            port.engine_insns <- port.engine_insns + insns;
-            if ok then begin
-              port.accepted <- port.accepted + 1;
-              if port.timestamps then cpu_cost := !cpu_cost + costs.Costs.timestamp;
-              acceptors := port :: !acceptors;
-              (* Stop unless this filter asked for copies to lower priorities. *)
-              if port.copy_all then apply rest
-            end
-            else apply rest
+          else if run_port_filter port then begin
+            accept port;
+            (* Stop unless this filter asked for copies to lower priorities. *)
+            if port.copy_all then apply rest
           end
+          else apply rest
       in
       if t.strategy = `Decision_tree && (not kernel_claimed) && tree_usable t then begin
         (* One guard-trie walk instead of priority-ordered interpretation;
@@ -626,12 +700,59 @@ let demux t ?(kernel_claimed = false) frame =
           + (stats.Pf_filter.Decision.insns * costs.Costs.filter_insn);
         Stats.incr ~by:stats.Pf_filter.Decision.filters_run t.stats "pf.filters_tested";
         Stats.incr ~by:stats.Pf_filter.Decision.insns t.stats "pf.filter_insns";
-        match result with
-        | Some port ->
-          port.accepted <- port.accepted + 1;
-          if port.timestamps then cpu_cost := !cpu_cost + costs.Costs.timestamp;
-          acceptors := [ port ]
-        | None -> ()
+        match result with Some port -> accept port | None -> ()
+      end
+      else if t.strategy = `Dispatch && not kernel_claimed then begin
+        (* Automaton classification, then the residual walk merged by rank:
+           walk residual ports of lower rank than the automaton winner (a
+           residual may outrank it, or be copy-all and accept additionally);
+           once every remaining residual ranks past the winner, the winner —
+           always non-copy-all — takes the packet and stops the walk, exactly
+           where the sequential walk would have stopped. *)
+        let d = dispatch_of t in
+        t.dispatch_classifies <- t.dispatch_classifies + 1;
+        Stats.incr t.stats "pf.dispatch.classify";
+        let winner, dstats =
+          Pf_filter.Dispatch.classify
+            ~on_run:(fun port ~insns ->
+              Stats.incr t.stats "pf.filters_tested";
+              Stats.incr ~by:insns t.stats "pf.filter_insns";
+              port.engine_applications <- port.engine_applications + 1;
+              port.engine_insns <- port.engine_insns + insns)
+            d frame
+        in
+        cpu_cost :=
+          !cpu_cost
+          + (dstats.Pf_filter.Dispatch.probes * costs.Costs.dispatch_probe)
+          + (dstats.Pf_filter.Dispatch.hash_words * costs.Costs.dispatch_hash_word)
+          + (dstats.Pf_filter.Dispatch.candidates_run * costs.Costs.filter_apply)
+          + (dstats.Pf_filter.Dispatch.insns * costs.Costs.filter_insn);
+        t.dispatch_exact_accepts <-
+          t.dispatch_exact_accepts + dstats.Pf_filter.Dispatch.exact_accepts;
+        t.dispatch_candidates <-
+          t.dispatch_candidates + dstats.Pf_filter.Dispatch.candidates_run;
+        if dstats.Pf_filter.Dispatch.exact_accepts > 0 then
+          Stats.incr t.stats "pf.dispatch.exact_accept";
+        let winner_rank = match winner with Some (r, _) -> r | None -> max_int in
+        let deliver_winner () =
+          match winner with Some (_, port) -> accept port | None -> ()
+        in
+        let rec walk = function
+          | [] -> deliver_winner ()
+          | (rank, port) :: rest ->
+            if rank > winner_rank then deliver_winner ()
+            else if (not port.is_open) || port.filter = None then walk rest
+            else begin
+              t.dispatch_residual_runs <- t.dispatch_residual_runs + 1;
+              Stats.incr t.stats "pf.dispatch.residual_run";
+              if run_port_filter port then begin
+                accept port;
+                if port.copy_all then walk rest
+              end
+              else walk rest
+            end
+        in
+        walk (Pf_filter.Dispatch.residuals d)
       end
       else apply t.ports;
       let acceptors = List.rev !acceptors in

@@ -79,13 +79,23 @@ val set_priority : port -> int -> unit
 (** Re-rank the port without reinstalling its filter; the priority normally
     comes from the installed program's header ({!install}). *)
 
-val set_strategy : t -> [ `Sequential | `Decision_tree ] -> unit
+val set_strategy : t -> [ `Sequential | `Decision_tree | `Dispatch ] -> unit
 (** Demultiplexing strategy. [`Sequential] (the default) applies filters in
     priority order, figure 4-1. [`Decision_tree] merges the active filters
     into section 7's "decision table" ({!Pf_filter.Decision}) — identical
     verdicts, fewer instructions interpreted; it silently falls back to
     sequential while any copy-all or tap port exists (those need
-    multi-delivery, which the first-match tree cannot express). *)
+    multi-delivery, which the first-match tree cannot express).
+    [`Dispatch] compiles the whole port set into the cross-filter dispatch
+    automaton ({!Pf_filter.Dispatch}): classification cost grows with the
+    number of guard-signature {e groups}, not the number of ports. Unlike
+    the tree, it tolerates copy-all and tap ports — they simply join the
+    residual walk, which is merged with the automaton winner by walk rank,
+    so delivered-port sets are identical to the sequential walk (the fuzz
+    oracle and [test_dispatch] enforce this). The automaton is rebuilt
+    lazily after exactly the mutations that flush the flow cache.
+    Kernel-claimed packets bypass the automaton (taps-only delivery is a
+    different port subset) and take the sequential walk. *)
 
 val set_compile_strategy : t -> [ `Off | `Raise_only | `Regvm ] -> unit
 (** How {!install} compiles filters, spending the {!Pf_filter.Regopt}
@@ -239,6 +249,24 @@ type cache_stats = {
 val cache_stats : t -> cache_stats
 val pp_cache_stats : Format.formatter -> cache_stats -> unit
 (** One-line summary, as shown by [pftool] and [pfmon]. *)
+
+(** {1 Dispatch-automaton observability} *)
+
+type dispatch_stats = {
+  rebuilds : int;  (** lazy automaton rebuilds after an invalidation *)
+  classifies : int;  (** packets classified through the automaton *)
+  exact_accepts : int;
+      (** classifications won by an exact entry: slot match, zero filter
+          instructions interpreted *)
+  candidates_run : int;  (** same-slot candidate programs interpreted *)
+  residual_runs : int;  (** residual-walk filter applications *)
+}
+
+val dispatch_stats : t -> dispatch_stats
+(** Counters since device creation (also mirrored as ["pf.dispatch.*"]
+    device stats); all zero unless the [`Dispatch] strategy has run. *)
+
+val pp_dispatch_stats : Format.formatter -> dispatch_stats -> unit
 
 (** {1 Status (section 3.3)} *)
 

@@ -17,6 +17,8 @@ type t = {
   wakeup : Time.t;
   cache_probe : Time.t;
   cache_hash_word : Time.t;
+  dispatch_probe : Time.t;
+  dispatch_hash_word : Time.t;
   regvm_apply : Time.t;
   regvm_insn : Time.t;
 }
@@ -41,6 +43,8 @@ let microvax_ii =
     wakeup = 200;
     cache_probe = 20;
     cache_hash_word = 3;
+    dispatch_probe = 20;
+    dispatch_hash_word = 3;
     regvm_apply = 30;
     regvm_insn = 18;
   }
@@ -66,6 +70,8 @@ let scale f t =
     wakeup = s t.wakeup;
     cache_probe = s t.cache_probe;
     cache_hash_word = s t.cache_hash_word;
+    dispatch_probe = s t.dispatch_probe;
+    dispatch_hash_word = s t.dispatch_hash_word;
     regvm_apply = s t.regvm_apply;
     regvm_insn = s t.regvm_insn;
   }

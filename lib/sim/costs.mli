@@ -46,6 +46,12 @@ type t = {
   cache_hash_word : Time.t;
       (** per key word: loading one packet word at a read-set offset,
           folding it into the hash, and comparing it on a probe *)
+  dispatch_probe : Time.t;
+      (** fixed part of classifying a packet against one dispatch-automaton
+          group (hash dispatch over the group's slot table) *)
+  dispatch_hash_word : Time.t;
+      (** per guard word: loading one packet word at a group offset and
+          folding it into the slot key *)
   regvm_apply : Time.t;
       (** fixed per-filter overhead when applying a register-VM compiled
           filter (register file setup instead of stack setup) *)

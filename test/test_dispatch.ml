@@ -1,0 +1,370 @@
+(* The cross-filter dispatch automaton, tested differentially against the
+   sequential walk it replaces: mirrored devices receive identical mutation
+   streams (install / close / set_priority / set_filter / set_tap /
+   set_copy_all) and identical packets, and must agree on every verdict and
+   on per-port accept/drop accounting; plus residual-fallback coverage for
+   unbounded read sets, direct unit tests of the build decisions, and the
+   seeded unsound-prefix-sharing mutant, which the fuzz oracle must catch
+   and shrink. *)
+
+open Pf_kernel
+module Packet = Pf_pkt.Packet
+module Predicates = Pf_filter.Predicates
+module Dispatch = Pf_filter.Dispatch
+module Validate = Pf_filter.Validate
+module Program = Pf_filter.Program
+module Fast = Pf_filter.Fast
+module Rng = Pf_fuzz.Gen.Rng
+module Oracle = Pf_fuzz.Oracle
+module Runner = Pf_fuzz.Runner
+
+let mk_dev () =
+  let eng = Pf_sim.Engine.create () in
+  let costs = Pf_sim.Costs.free in
+  let dev =
+    Pfdev.create eng (Pf_sim.Cpu.create costs) costs (Pf_sim.Stats.create ())
+      ~variant:Pf_net.Frame.Exp3 ~address:(Pf_net.Addr.exp 1)
+      ~send:(fun _ -> ())
+  in
+  (eng, dev)
+
+let set_filter_exn port program =
+  match Pfdev.set_filter port program with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Pfdev.pp_install_error e)
+
+let validate_exn program =
+  match Validate.check program with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpectedly invalid: %a" Validate.pp_error e
+
+(* {1 Mirrored-device equivalence under randomized mutation}
+
+   A [`Sequential] and a [`Dispatch] device receive the same mutation
+   stream and the same packets. Any divergence in a demux verdict or in
+   per-port accounting is an automaton bug — in classification itself, in
+   the rank-merged residual walk, or in a missed rebuild after a mutation
+   (the rebuild-invalidation property: the automaton must be reconstructed
+   after exactly the mutations that flush the flow cache). *)
+
+(* Filter pool: exact guard chains (distinct sockets), a non-exact chain
+   (pup_dst_port_10mb keeps code after its guards), a short chain shared
+   across sockets (pup_type_is), an unbounded read set (residual), and a
+   chainless accept-all (residual). *)
+let pool =
+  [|
+    (fun s -> Predicates.pup_dst_socket (Int32.of_int (30 + s)));
+    (fun s -> Predicates.pup_dst_port_10mb ~host:3 (Int32.of_int (30 + s)));
+    (fun s -> Predicates.pup_type_is (1 + (s mod 3)));
+    (fun s -> Predicates.udp_dst_port_any_ihl (1000 + s));
+    (fun _ -> Predicates.accept_all);
+  |]
+
+let random_program rng =
+  let f = pool.(Rng.int rng (Array.length pool)) in
+  f (Rng.int rng 4)
+
+let random_packet rng =
+  if Rng.chance rng 20 then Testutil.ip_udp_frame ~dst_port:(1000 + Rng.int rng 4)
+  else
+    Testutil.pup_frame
+      ~ptype:(1 + Rng.int rng 3)
+      ~dst_socket:(Int32.of_int (30 + Rng.int rng 4))
+      ()
+
+let run_mirrored ~seed ~cache ~steps =
+  let rng = Rng.make seed in
+  let eng_s, dev_s = mk_dev () in
+  let eng_a, dev_a = mk_dev () in
+  Pfdev.set_cache_enabled dev_s cache;
+  Pfdev.set_cache_enabled dev_a cache;
+  Pfdev.set_strategy dev_a `Dispatch;
+  (* Parallel port pairs, index-aligned across the two devices. *)
+  let ports = ref [] in
+  let open_pair () =
+    let ps = Pfdev.open_port dev_s and pa = Pfdev.open_port dev_a in
+    Pfdev.set_queue_limit ps 2;
+    Pfdev.set_queue_limit pa 2;
+    ports := !ports @ [ (ps, pa) ];
+    (ps, pa)
+  in
+  let pick rng =
+    match !ports with
+    | [] -> None
+    | l -> Some (List.nth l (Rng.int rng (List.length l)))
+  in
+  let mutate rng =
+    match Rng.int rng 6 with
+    | 0 ->
+      let ps, pa = open_pair () in
+      let p = random_program rng in
+      set_filter_exn ps p;
+      set_filter_exn pa p
+    | 1 -> (
+      match pick rng with
+      | Some (ps, pa) when List.length !ports > 1 ->
+        Pfdev.close_port ps;
+        Pfdev.close_port pa;
+        ports := List.filter (fun (q, _) -> q != ps) !ports
+      | _ -> ())
+    | 2 -> (
+      match pick rng with
+      | Some (ps, pa) ->
+        let p = random_program rng in
+        set_filter_exn ps p;
+        set_filter_exn pa p
+      | None -> ())
+    | 3 -> (
+      match pick rng with
+      | Some (ps, pa) ->
+        let pri = Rng.int rng 4 in
+        Pfdev.set_priority ps pri;
+        Pfdev.set_priority pa pri
+      | None -> ())
+    | 4 -> (
+      match pick rng with
+      | Some (ps, pa) ->
+        let flag = Rng.bool rng in
+        Pfdev.set_copy_all ps flag;
+        Pfdev.set_copy_all pa flag
+      | None -> ())
+    | _ -> (
+      match pick rng with
+      | Some (ps, pa) ->
+        let flag = Rng.bool rng in
+        Pfdev.set_tap ps flag;
+        Pfdev.set_tap pa flag
+      | None -> ())
+  in
+  for step = 1 to steps do
+    mutate rng;
+    (* A short burst of shared packets after every mutation; the occasional
+       kernel-claimed packet exercises the taps-only bypass. *)
+    for _ = 1 to 4 do
+      let packet = random_packet rng in
+      let kernel_claimed = Rng.chance rng 8 in
+      let rs = Pfdev.demux dev_s ~kernel_claimed packet in
+      let ra = Pfdev.demux dev_a ~kernel_claimed packet in
+      if rs <> ra then
+        Alcotest.failf
+          "step %d: sequential walk says %b, dispatch automaton says %b" step
+          rs ra
+    done
+  done;
+  Pf_sim.Engine.run eng_s;
+  Pf_sim.Engine.run eng_a;
+  List.iteri
+    (fun i (ps, pa) ->
+      Alcotest.(check int)
+        (Printf.sprintf "port %d accepted" i)
+        (Pfdev.port_accepted ps) (Pfdev.port_accepted pa);
+      Alcotest.(check int)
+        (Printf.sprintf "port %d dropped" i)
+        (Pfdev.port_dropped ps) (Pfdev.port_dropped pa))
+    !ports;
+  let ds = Pfdev.dispatch_stats dev_a in
+  Alcotest.(check bool) "automaton actually classified packets" true
+    (ds.Pfdev.classifies > 0);
+  Alcotest.(check bool) "automaton rebuilt after mutations" true
+    (ds.Pfdev.rebuilds > 1)
+
+let test_mirrored_mutations_cache_off () =
+  List.iter
+    (fun seed -> run_mirrored ~seed ~cache:false ~steps:40)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_mirrored_mutations_cache_on () =
+  List.iter
+    (fun seed -> run_mirrored ~seed ~cache:true ~steps:40)
+    [ 6; 7; 8; 9; 10 ]
+
+(* {1 Residual fallback: unbounded read sets}
+
+   A filter whose read set is [Unbounded] (IHL-indexed UDP matching) can
+   never be indexed; the automaton must classify it residual and the
+   [`Dispatch] device must still deliver through the per-port walk. *)
+
+let test_unbounded_residual_fallback () =
+  let udp = Predicates.udp_dst_port_any_ihl 53 in
+  let d =
+    Dispatch.build
+      [ (validate_exn udp, "udp"); (validate_exn (Predicates.pup_dst_socket 35l), "pup") ]
+  in
+  (match List.assoc_opt 0 (List.map (fun (r, _, d) -> (r, d)) (Dispatch.decisions d)) with
+  | Some (Dispatch.Residual `Unbounded) -> ()
+  | Some other ->
+    Alcotest.failf "expected Residual `Unbounded, got %a" Dispatch.pp_decision other
+  | None -> Alcotest.fail "no decision recorded for the UDP filter");
+  let eng, dev = mk_dev () in
+  Pfdev.set_strategy dev `Dispatch;
+  let port = Pfdev.open_port dev in
+  set_filter_exn port udp;
+  let hit = Pfdev.demux dev (Testutil.ip_udp_frame ~dst_port:53) in
+  let miss = Pfdev.demux dev (Testutil.ip_udp_frame ~dst_port:54) in
+  Pf_sim.Engine.run eng;
+  Alcotest.(check bool) "matching UDP packet delivered" true hit;
+  Alcotest.(check bool) "non-matching UDP packet refused" false miss;
+  let ds = Pfdev.dispatch_stats dev in
+  Alcotest.(check bool) "delivery went through the residual walk" true
+    (ds.Pfdev.residual_runs > 0)
+
+(* {1 Direct unit tests of build decisions and classification} *)
+
+(* Classification + rank-merged residual walk, against a plain linear
+   first-match reference over the same rank order. *)
+let test_classify_matches_linear_reference () =
+  let filters =
+    [
+      ("sock35-pri2", Predicates.pup_dst_socket ~priority:2 35l);
+      ("sock36", Predicates.pup_dst_socket 36l);
+      ("type2", Predicates.pup_type_is 2);
+      ("udp1000", Predicates.udp_dst_port_any_ihl 1000);
+      ("any", Predicates.accept_all);
+    ]
+  in
+  let entries = List.map (fun (n, p) -> (validate_exn p, n)) filters in
+  (* Rank order: priority desc, then position — recompute it here. *)
+  let ranked =
+    List.mapi (fun i (v, n) -> (i, v, n)) entries
+    |> List.stable_sort (fun (i, va, _) (j, vb, _) ->
+           match
+             compare
+               (Program.priority (Validate.program vb))
+               (Program.priority (Validate.program va))
+           with
+           | 0 -> compare i j
+           | c -> c)
+  in
+  let reference packet =
+    List.find_map
+      (fun (_, v, n) -> if Fast.run (Fast.compile v) packet then Some n else None)
+      ranked
+  in
+  let d = Dispatch.build entries in
+  let merged packet =
+    let winner, _ = Dispatch.classify d packet in
+    let winner_rank = match winner with Some (r, _) -> r | None -> max_int in
+    let rec walk = function
+      | [] -> Option.map snd winner
+      | (rank, _) :: _ when rank > winner_rank -> Option.map snd winner
+      | (rank, n) :: rest ->
+        let _, v, _ = List.nth ranked rank in
+        if Fast.run (Fast.compile v) packet then Some n else walk rest
+    in
+    walk (Dispatch.residuals d)
+  in
+  let packets =
+    List.concat_map
+      (fun socket ->
+        List.map
+          (fun ptype -> Testutil.pup_frame ~ptype ~dst_socket:(Int32.of_int socket) ())
+          [ 1; 2; 3 ])
+      [ 34; 35; 36; 37 ]
+    @ [ Testutil.ip_udp_frame ~dst_port:1000; Testutil.ip_udp_frame ~dst_port:999;
+        Packet.of_string "" ]
+  in
+  List.iter
+    (fun packet ->
+      Alcotest.(check (option string))
+        "automaton+residual walk equals the linear walk" (reference packet)
+        (merged packet))
+    packets
+
+let test_identical_filters_shadowed () =
+  let v () = validate_exn (Predicates.pup_dst_socket 35l) in
+  let d = Dispatch.build [ (v (), "first"); (v (), "second") ] in
+  (match Dispatch.decisions d with
+  | [ (0, "first", Dispatch.Indexed _); (1, "second", Dispatch.Shadowed { by = 0 }) ]
+    -> ()
+  | ds ->
+    Alcotest.failf "expected the duplicate filter shadowed by rank 0, got:@.%a"
+      (Format.pp_print_list (fun ppf (r, n, d) ->
+           Format.fprintf ppf "  rank %d (%s): %a@." r n Dispatch.pp_decision d))
+      ds);
+  (* The shadowed entry must never win — and the shadow must not lose the
+     packet either. *)
+  match Dispatch.classify d (Testutil.pup_frame ~dst_socket:35l ()) with
+  | Some (0, "first"), _ -> ()
+  | Some (r, n), _ -> Alcotest.failf "wrong winner: rank %d (%s)" r n
+  | None, _ -> Alcotest.fail "the packet should have been classified"
+
+let test_never_accepts_dropped () =
+  let d =
+    Dispatch.build
+      [ (validate_exn Predicates.reject_all, "never");
+        (validate_exn (Predicates.pup_dst_socket 35l), "sock") ]
+  in
+  (match List.map (fun (_, n, dec) -> (n, dec)) (Dispatch.decisions d) with
+  | [ ("never", Dispatch.Never_accepts); ("sock", Dispatch.Indexed _) ] -> ()
+  | _ -> Alcotest.fail "reject-all should be dropped as Never_accepts");
+  Alcotest.(check int) "no residuals" 0 (List.length (Dispatch.residuals d));
+  match Dispatch.classify d (Testutil.pup_frame ~dst_socket:35l ()) with
+  | Some (_, "sock"), _ -> ()
+  | _ -> Alcotest.fail "the live filter should still win"
+
+let test_copy_all_goes_residual () =
+  let v () = validate_exn (Predicates.pup_dst_socket 35l) in
+  let d =
+    Dispatch.build
+      ~indexable:(fun name -> name <> "monitor")
+      [ (v (), "monitor"); (v (), "consumer") ]
+  in
+  match List.map (fun (_, n, dec) -> (n, dec)) (Dispatch.decisions d) with
+  | [ ("monitor", Dispatch.Residual `Excluded); ("consumer", Dispatch.Indexed _) ]
+    -> ()
+  | _ -> Alcotest.fail "the excluded port must go residual, not indexed"
+
+(* {1 The seeded unsound-prefix-sharing mutant}
+
+   Flip the automaton into accepting every slot-matched candidate on its
+   guard prefix alone — the unsound sharing the [exact] distinction
+   prevents. The fuzz oracle's demux-dispatch engine must catch it (the
+   automaton accepts packets the sequential walk rejects), and the shrinker
+   must reduce the evidence to an eyeball-sized reproducer. *)
+
+let test_unsound_sharing_mutant_caught_and_shrunk () =
+  Dispatch.For_testing.unsound_prefix_sharing := true;
+  let stats =
+    Fun.protect
+      ~finally:(fun () -> Dispatch.For_testing.unsound_prefix_sharing := false)
+      (fun () -> Runner.run ~max_failures:1 ~seed:0xD15B ~iters:2_000 ())
+  in
+  match stats.Runner.failures with
+  | [] -> Alcotest.fail "the oracle missed the unsound-prefix-sharing mutant"
+  | f :: _ ->
+    Alcotest.(check bool) "dispatch demux is the culprit" true
+      (List.exists
+         (fun (m : Oracle.mismatch) -> m.Oracle.engine = "demux-dispatch")
+         f.Runner.mismatches);
+    Alcotest.(check bool) "shrunk case still disagrees" true
+      (List.exists
+         (fun (m : Oracle.mismatch) -> m.Oracle.engine = "demux-dispatch")
+         f.Runner.shrunk_mismatches);
+    Alcotest.(check bool)
+      (Format.asprintf "reproducer is <= 5 insns, got:@.%a" Program.pp
+         f.Runner.shrunk_program)
+      true
+      (Program.insn_count f.Runner.shrunk_program <= 5);
+    Alcotest.(check bool) "repro command present" true
+      (Testutil.contains f.Runner.repro "pffuzz --seed")
+
+let suite =
+  ( "dispatch",
+    [
+      Alcotest.test_case "mirrored mutations, cache off" `Quick
+        test_mirrored_mutations_cache_off;
+      Alcotest.test_case "mirrored mutations, cache on" `Quick
+        test_mirrored_mutations_cache_on;
+      Alcotest.test_case "unbounded read set falls back to the residual walk"
+        `Quick test_unbounded_residual_fallback;
+      Alcotest.test_case "classify + residual merge equals the linear walk"
+        `Quick test_classify_matches_linear_reference;
+      Alcotest.test_case "identical filter is shadowed" `Quick
+        test_identical_filters_shadowed;
+      Alcotest.test_case "never-accepting filter is dropped" `Quick
+        test_never_accepts_dropped;
+      Alcotest.test_case "excluded (copy-all) filter goes residual" `Quick
+        test_copy_all_goes_residual;
+      Alcotest.test_case "unsound-prefix-sharing mutant caught and shrunk"
+        `Quick test_unsound_sharing_mutant_caught_and_shrunk;
+    ] )

@@ -22,4 +22,5 @@ let () =
       Test_analysis.suite;
       Test_ir.suite;
       Test_symex.suite;
+      Test_dispatch.suite;
     ]
