@@ -21,6 +21,7 @@ let experiments =
     ("ir", "Register-IR compile strategies on the §6 filter mix", Exp_ir.run);
     ("dispatch", "Demux scaling: dispatch automaton vs linear walk (10 -> 10k ports)",
      Exp_dispatch.run);
+    ("fw", "Firewall frontend: lint cost + verified optimization payoff", Exp_fw.run);
     ("figures", "Figures 2-1/2-2, 2-3, 3-4/3-5 cost decompositions", Exp_figures.run);
     ("ablation", "Design ablations + Bechamel microbenchmarks", Exp_ablation.run);
   ]
@@ -56,7 +57,8 @@ let () =
        dispatch metrics go to their own files, everything else — the §6
        demux tables, the flow cache, the interpreter profile — to the
        original BENCH_demux.json. *)
-    Util.write_json_excluding "BENCH_demux.json" ~prefixes:[ "ir_"; "dispatch_" ];
+    Util.write_json_excluding "BENCH_demux.json" ~prefixes:[ "ir_"; "dispatch_"; "fw_" ];
     Util.write_json_filtered "BENCH_ir.json" ~prefix:"ir_";
-    Util.write_json_filtered "BENCH_dispatch.json" ~prefix:"dispatch_"
+    Util.write_json_filtered "BENCH_dispatch.json" ~prefix:"dispatch_";
+    Util.write_json_filtered "BENCH_fw.json" ~prefix:"fw_"
   end

@@ -15,6 +15,7 @@ open Cmdliner
 module Runner = Pf_fuzz.Runner
 module Gen = Pf_fuzz.Gen
 module Oracle = Pf_fuzz.Oracle
+module Fwcase = Pf_fuzz.Fwcase
 
 let replay ~seed ~index =
   let case, outcome = Runner.run_case ~seed ~index () in
@@ -45,12 +46,50 @@ let campaign ~seed ~iters ~seconds ~max_failures ~quiet =
   Format.printf "%.1fs, %.0f cases/s@." dt (float_of_int stats.Runner.cases /. dt);
   if stats.Runner.failures = [] then 0 else 1
 
-let main seed iters index seconds max_failures quiet =
-  match index with
-  | Some index -> replay ~seed ~index
-  | None -> campaign ~seed ~iters ~seconds ~max_failures ~quiet
+(* The firewall-frontend campaign: random rule tables + packets against
+   the reference semantics and every compiled engine (--firewall). *)
+let fw_replay ~seed ~index =
+  let case, outcome = Fwcase.run_case ~seed ~index () in
+  Format.printf
+    "@[<v>firewall case %d of seed %d (%s):@,@[<v 2>table:@,%a@]packet: %a@,%a@]@."
+    index seed case.Fwcase.shape Pf_firewall.Table.pp case.Fwcase.table
+    Pf_pkt.Packet.pp_hex case.Fwcase.packet Fwcase.pp_outcome outcome;
+  match outcome with Fwcase.Disagreement _ -> 1 | _ -> 0
+
+let fw_campaign ~seed ~iters ~seconds ~max_failures ~quiet =
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) seconds in
+  let should_stop =
+    match deadline with
+    | None -> fun () -> false
+    | Some d -> fun () -> Unix.gettimeofday () >= d
+  in
+  let iters = match seconds with Some _ -> max_int | None -> iters in
+  let progress i =
+    if (not quiet) && i mod 500 = 0 then Printf.eprintf "pffuzz: %d cases...\r%!" i
+  in
+  let t0 = Unix.gettimeofday () in
+  let stats = Fwcase.run ~max_failures ~should_stop ~progress ~seed ~iters () in
+  let dt = Unix.gettimeofday () -. t0 in
+  if not quiet then Printf.eprintf "\n%!";
+  Format.printf "%a@." Fwcase.pp_stats stats;
+  Format.printf "%.1fs, %.0f cases/s@." dt (float_of_int stats.Fwcase.cases /. dt);
+  if stats.Fwcase.failures = [] then 0 else 1
+
+let main firewall seed iters index seconds max_failures quiet =
+  match (firewall, index) with
+  | false, Some index -> replay ~seed ~index
+  | false, None -> campaign ~seed ~iters ~seconds ~max_failures ~quiet
+  | true, Some index -> fw_replay ~seed ~index
+  | true, None -> fw_campaign ~seed ~iters ~seconds ~max_failures ~quiet
 
 let cmd =
+  let firewall =
+    Arg.(value & flag
+         & info [ "firewall" ]
+             ~doc:"Fuzz the firewall rule-table frontend instead of raw \
+                   programs: random tables + packets, reference semantics \
+                   vs every compiled engine.")
+  in
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
   in
@@ -73,6 +112,6 @@ let cmd =
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress output.") in
   Cmd.v
     (Cmd.info "pffuzz" ~doc:"Differential fuzzer: one oracle over every packet-filter engine")
-    Term.(const main $ seed $ iters $ index $ seconds $ max_failures $ quiet)
+    Term.(const main $ firewall $ seed $ iters $ index $ seconds $ max_failures $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -75,21 +75,8 @@ let build ?(indexable = fun _ -> true) filters =
   (* Same-slot subsumption, Analysis.relate first, the symbolic engine
      (memoized, small budget) where it answers Unknown. Equiv.relate only
      ever upgrades to Equivalent/Disjoint, both sound here. *)
-  let relate_memo = Hashtbl.create 16 in
-  let relate va vb =
-    match Analysis.relate va vb with
-    | Analysis.Unknown -> (
-      let key =
-        (Program.encode (Validate.program va), Program.encode (Validate.program vb))
-      in
-      match Hashtbl.find_opt relate_memo key with
-      | Some r -> r
-      | None ->
-        let r = Equiv.relate ~budget:64 ~pair_budget:256 va vb in
-        Hashtbl.add relate_memo key r;
-        r)
-    | r -> r
-  in
+  let memo = Equiv.Relate_memo.create () in
+  let relate va vb = Equiv.relate_memo ~budget:64 ~pair_budget:256 memo va vb in
   let groups : (int list, (int list * 'a entry list ref) list ref) Hashtbl.t =
     Hashtbl.create 16
   in

@@ -181,6 +181,31 @@ let relate ?(budget = default_budget) ?(pair_budget = default_pair_budget) va
       | Counterexample _ | Unknown -> Analysis.Unknown
   end
 
+module Relate_memo = struct
+  type t = (int list * int list * int * int, Analysis.relation) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+  let size : t -> int = Hashtbl.length
+end
+
+let relate_memo ?(budget = default_budget)
+    ?(pair_budget = default_pair_budget) (memo : Relate_memo.t) va vb =
+  match Analysis.relate va vb with
+  | Analysis.Unknown -> (
+      let key =
+        ( Program.encode (Validate.program va),
+          Program.encode (Validate.program vb),
+          budget,
+          pair_budget )
+      in
+      match Hashtbl.find_opt memo key with
+      | Some r -> r
+      | None ->
+          let r = relate ~budget ~pair_budget va vb in
+          Hashtbl.add memo key r;
+          r)
+  | r -> r
+
 type certification =
   | Certified
   | Refuted of Packet.t

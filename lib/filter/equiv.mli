@@ -70,6 +70,27 @@ val relate :
     {!check_programs} proves equality, [Unknown] otherwise. Never returns
     [Subsumes]/[Subsumed_by]. *)
 
+(** Memo table for {!relate_memo}, shared by the dispatch automaton and the
+    firewall rule lint so repeated pairs (the same guard programs recur
+    across groups and tables) are related once. Keys are the encoded wire
+    programs plus the budgets, so one table can serve callers with
+    different budgets without confusing their answers. *)
+module Relate_memo : sig
+  type t
+
+  val create : unit -> t
+  val size : t -> int
+  (** Number of symbolically-related pairs cached (cheap
+      {!Analysis.relate} hits are not stored). *)
+end
+
+val relate_memo :
+  ?budget:int -> ?pair_budget:int -> Relate_memo.t -> Validate.t ->
+  Validate.t -> Analysis.relation
+(** {!Analysis.relate} first (interval reasoning, never cached — it is
+    cheaper than the lookup); where it answers [Unknown], fall back to the
+    symbolic {!relate} through the memo table. *)
+
 (** Outcome of certifying one optimizer rewrite, shared by
     {!Peephole.optimize_certified}, {!Regopt.optimize_certified} and
     {!Regopt.raise_program_certified}. *)

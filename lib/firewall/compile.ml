@@ -1,0 +1,129 @@
+open Pf_filter
+
+module For_testing = struct
+  let last_match_wins = ref false
+end
+
+let lit v = Expr.Lit v
+let word n = Expr.Word n
+let eq a b = Expr.Bin (Expr.Eq, a, b)
+let ge a b = Expr.Bin (Expr.Ge, a, b)
+let le a b = Expr.Bin (Expr.Le, a, b)
+
+(* word[w] land mask = v, with the Band elided when the mask is full *)
+let masked_eq w mask v =
+  if mask = 0xffff then eq (word w) (lit v)
+  else eq (Expr.Bin (Expr.Band, word w, lit mask)) (lit v)
+
+let shape_conjuncts =
+  [
+    eq (word Rule.ethertype_word) (lit 0x0800);
+    masked_eq Rule.vihl_word 0xff00 0x4500;
+    (* tautology: pins the length behavior of every compiled form to
+       "word 18 exists", i.e. >= 19 words — see the .mli *)
+    ge (word Rule.dport_word) (lit 0);
+  ]
+
+(* A /p prefix splits into masked equalities on the two 16-bit halves of
+   the address; halves the prefix does not reach are unconstrained. *)
+let addr_conjuncts (spec : Rule.addr) (hi_w, lo_w) =
+  let hi16 = Int32.to_int (Int32.shift_right_logical spec.Rule.addr 16) in
+  let lo16 = Int32.to_int spec.Rule.addr land 0xffff in
+  let p = spec.Rule.prefix in
+  if p = 0 then []
+  else if p <= 16 then
+    [ masked_eq hi_w (0xffff land (0xffff lsl (16 - p))) hi16 ]
+  else
+    masked_eq hi_w 0xffff hi16
+    :: [ masked_eq lo_w (0xffff land (0xffff lsl (32 - p))) lo16 ]
+
+let ports_conjuncts (spec : Rule.ports) w =
+  if Rule.is_any_ports spec then []
+  else if spec.Rule.lo = spec.Rule.hi then [ eq (word w) (lit spec.Rule.lo) ]
+  else
+    (if spec.Rule.lo = 0 then [] else [ ge (word w) (lit spec.Rule.lo) ])
+    @ if spec.Rule.hi = 0xffff then [] else [ le (word w) (lit spec.Rule.hi) ]
+
+let match_expr (r : Rule.t) =
+  let proto =
+    match r.Rule.proto with
+    | Rule.Any_proto -> []
+    | Rule.Tcp -> [ masked_eq Rule.proto_word 0x00ff 6 ]
+    | Rule.Udp -> [ masked_eq Rule.proto_word 0x00ff 17 ]
+  in
+  let frag0 =
+    if Rule.uses_ports r then [ masked_eq Rule.frag_word 0x1fff 0 ] else []
+  in
+  Expr.All
+    (proto
+    @ addr_conjuncts r.Rule.src Rule.src_words
+    @ addr_conjuncts r.Rule.dst Rule.dst_words
+    @ frag0
+    @ ports_conjuncts r.Rule.sports Rule.sport_word
+    @ ports_conjuncts r.Rule.dports Rule.dport_word)
+
+let chain_expr (t : Table.t) =
+  let rules =
+    if !For_testing.last_match_wins then List.rev t.Table.rules
+    else t.Table.rules
+  in
+  List.fold_right
+    (fun (r : Rule.t) rest ->
+      let m = match_expr r in
+      match r.Rule.action with
+      | Rule.Accept -> Expr.Any [ m; rest ]
+      | Rule.Drop -> Expr.All [ Expr.Not m; rest ])
+    rules
+    (lit (match t.Table.default with Rule.Accept -> 1 | Rule.Drop -> 0))
+
+let table_expr t = Expr.All (shape_conjuncts @ [ chain_expr t ])
+
+let naive_program ?priority t =
+  Expr.compile ?priority ~short_circuit:false ~optimize:false (table_expr t)
+
+let optimized_program ?priority t =
+  Expr.compile ?priority ~short_circuit:true ~optimize:true (table_expr t)
+
+let rule_guards r =
+  let prog =
+    Expr.compile ~short_circuit:true ~optimize:true
+      (Expr.All (shape_conjuncts @ [ match_expr r ]))
+  in
+  Analysis.guards prog
+
+type compiled = {
+  table : Table.t;
+  naive : Validate.t;
+  installed : Validate.t;
+  report : Equiv.report;
+  certification : Equiv.certification;
+  fell_back : bool;
+}
+
+let default_budget = 65536
+let default_pair_budget = 5_000_000
+
+let compile ?(budget = default_budget) ?(pair_budget = default_pair_budget)
+    ?priority t =
+  match Validate.check (naive_program ?priority t) with
+  | Error e -> Error e
+  | Ok naive ->
+      let candidate = Validate.check (optimized_program ?priority t) in
+      let report =
+        Equiv.check_programs ~budget ~pair_budget naive
+          (match candidate with Ok vo -> vo | Error _ -> naive)
+      in
+      let certification =
+        match candidate with
+        | Ok _ -> Equiv.certification_of_report report
+        | Error e ->
+            Equiv.Uncertified
+              (Format.asprintf "optimized program invalid: %a"
+                 Validate.pp_error e)
+      in
+      let installed, fell_back =
+        match (candidate, certification) with
+        | Ok vo, Equiv.Certified -> (vo, false)
+        | _ -> (naive, true)
+      in
+      Ok { table = t; naive; installed; report; certification; fell_back }

@@ -1,0 +1,20 @@
+type error =
+  | Too_big of Pf_filter.Validate.error
+  | Rejected of Pf_kernel.Pfdev.install_error
+
+let install ?budget ?pair_budget ?priority port table =
+  match Compile.compile ?budget ?pair_budget ?priority table with
+  | Error e -> Error (Too_big e)
+  | Ok compiled -> (
+      let program = Pf_filter.Validate.program compiled.Compile.installed in
+      match Pf_kernel.Pfdev.install port program with
+      | Error e -> Error (Rejected e)
+      | Ok analysis -> Ok (compiled, analysis))
+
+let pp_error ppf = function
+  | Too_big e ->
+      Format.fprintf ppf "table does not compile: %a"
+        Pf_filter.Validate.pp_error e
+  | Rejected e ->
+      Format.fprintf ppf "kernel refused the program: %a"
+        Pf_kernel.Pfdev.pp_install_error e

@@ -1,0 +1,27 @@
+(** Installing a compiled rule table on a simulated packet-filter
+    device.
+
+    The table goes through {!Compile.compile} — so only a
+    translation-validated program (or the naive chain, if validation fell
+    back) reaches the kernel — and then through the ordinary
+    {!Pf_kernel.Pfdev.install} admission path: validation, installation-
+    time abstract interpretation, cost-bound admission control. The
+    firewall is just another port to the kernel; the dispatch automaton,
+    flow cache and engine selection all apply to it unchanged. *)
+
+type error =
+  | Too_big of Pf_filter.Validate.error
+      (** the naive chain does not fit the 255-word program limit *)
+  | Rejected of Pf_kernel.Pfdev.install_error
+      (** the kernel's admission control refused the program *)
+
+val install :
+  ?budget:int -> ?pair_budget:int -> ?priority:int -> Pf_kernel.Pfdev.port ->
+  Table.t -> (Compile.compiled * Pf_filter.Analysis.t, error) result
+(** Compile (with translation validation) and install on an open port.
+    On success the returned {!Compile.compiled} says which program the
+    port now runs and carries the equivalence certificate; the
+    {!Pf_filter.Analysis.t} is the kernel's installation-time analysis
+    of it. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,267 @@
+open Pf_filter
+module Packet = Pf_pkt.Packet
+
+type rule_class =
+  | Live
+  | Shadowed of int
+  | Dead
+  | Redundant
+  | Conflicting of int
+
+type conflict = {
+  earlier : int;
+  later : int;
+  witness : Packet.t;
+  resolved : Rule.action;
+  confirmed : bool;
+}
+
+type report = {
+  compiled : Compile.compiled;
+  classes : rule_class array;
+  conflicts : conflict list;
+  unknowns : string list;
+}
+
+let set_expr conjuncts = Expr.All (Compile.shape_conjuncts @ conjuncts)
+
+(* Is a predicate's accept set empty? Proof, concrete witness, or an
+   honest shrug — never a guess. The witness is only believed after the
+   compiled set-program concretely accepts it. *)
+type emptiness = Empty | Witness of Packet.t | Undecided of string
+
+let emptiness ~budget label e =
+  match
+    Validate.check (Expr.compile ~short_circuit:false ~optimize:false e)
+  with
+  | Error err ->
+      Undecided
+        (Format.asprintf "%s: set program invalid: %a" label
+           Validate.pp_error err)
+  | Ok v ->
+      let ctx = Symex.Ctx.create () in
+      let o = Symex.run ~budget ctx v in
+      let undecided =
+        ref
+          (if o.Symex.complete then None
+           else Some (label ^ ": path budget exhausted"))
+      in
+      let witness = ref None in
+      List.iter
+        (fun (p : Symex.path) ->
+          if p.Symex.accept && !witness = None then
+            match Symex.solve p.Symex.cond with
+            | `Unsat -> ()
+            | `Unknown ->
+                if !undecided = None then
+                  undecided := Some (label ^ ": a path resisted the solver")
+            | `Sat pkt ->
+                if Interp.accepts ~semantics:`Paper (Validate.program v) pkt
+                then witness := Some pkt
+                else if !undecided = None then
+                  undecided := Some (label ^ ": model not confirmed"))
+        o.Symex.paths;
+      (match (!witness, !undecided) with
+      | Some pkt, _ -> Witness pkt
+      | None, Some why -> Undecided why
+      | None, None -> Empty)
+
+let analyze ?(budget = Compile.default_budget)
+    ?(pair_budget = Compile.default_pair_budget) table =
+  match Compile.compile ~budget ~pair_budget table with
+  | Error e -> Error e
+  | Ok compiled ->
+      let rules = Array.of_list table.Table.rules in
+      let n = Array.length rules in
+      let m = Array.map Compile.match_expr rules in
+      let classes = Array.make n Live in
+      let unknowns = ref [] in
+      let note why = unknowns := why :: !unknowns in
+      let empt label e =
+        match emptiness ~budget label e with
+        | Undecided why as r ->
+            note why;
+            r
+        | r -> r
+      in
+      (* Single-rule set programs: the rule's accept set as a (tiny)
+         program, for the relation engines. *)
+      let sp =
+        Array.map
+          (fun e ->
+            Validate.check_exn
+              (Expr.compile ~short_circuit:true ~optimize:true
+                 (set_expr [ e ])))
+          m
+      in
+      let memo = Equiv.Relate_memo.create () in
+      let relate i j = Equiv.relate_memo ~budget ~pair_budget memo sp.(i) sp.(j) in
+      (* Pass 1: ordered pairs j < i — shadowing, and conflict candidates
+         (partial overlap both ways, opposite actions, with an overlap
+         witness). Cheap interval relation first, symbolic upgrade, set
+         emptiness only where both stay silent. *)
+      let conflict_cands = ref [] in
+      for i = 0 to n - 1 do
+        let j = ref 0 in
+        while classes.(i) = Live && !j < i do
+          let jj = !j in
+          let label what =
+            Printf.sprintf "rules %d and %d: %s" (jj + 1) (i + 1) what
+          in
+          (match relate jj i with
+          | Analysis.Equivalent | Analysis.Subsumes -> classes.(i) <- Shadowed jj
+          | Analysis.Disjoint -> ()
+          | Analysis.Subsumed_by ->
+              (* the later rule strictly generalizes the earlier: the
+                 standard exception-then-general idiom, not a finding *)
+              ()
+          | Analysis.Unknown -> (
+              match empt (label "overlap") (set_expr [ m.(i); m.(jj) ]) with
+              | Empty | Undecided _ -> ()
+              | Witness w -> (
+                  match
+                    empt
+                      (label "shadow residue")
+                      (set_expr [ m.(i); Expr.Not m.(jj) ])
+                  with
+                  | Empty -> classes.(i) <- Shadowed jj
+                  | Undecided _ -> ()
+                  | Witness _ ->
+                      if rules.(i).Rule.action <> rules.(jj).Rule.action then (
+                        match
+                          empt
+                            (label "generalization residue")
+                            (set_expr [ m.(jj); Expr.Not m.(i) ])
+                        with
+                        | Witness _ -> conflict_cands := (jj, i, w) :: !conflict_cands
+                        | Empty | Undecided _ -> ()))));
+          incr j
+        done
+      done;
+      (* Pass 2: dead rules — nothing reaches the rule past the union of
+         all earlier rules (no single one of which shadows it). *)
+      for i = 0 to n - 1 do
+        if classes.(i) = Live then begin
+          let prefix = List.init i (fun j -> Expr.Not m.(j)) in
+          match
+            empt
+              (Printf.sprintf "rule %d: reachability" (i + 1))
+              (set_expr (m.(i) :: prefix))
+          with
+          | Empty -> classes.(i) <- Dead
+          | Witness _ | Undecided _ -> ()
+        end
+      done;
+      (* Pass 3: redundant rules — recompile without the rule and ask the
+         translation validator whether the table's meaning survived. *)
+      for i = 0 to n - 1 do
+        if classes.(i) = Live then begin
+          let without =
+            Table.v ~default:table.Table.default
+              (List.filteri (fun k _ -> k <> i) table.Table.rules)
+          in
+          match Validate.check (Compile.naive_program without) with
+          | Error err ->
+              note
+                (Format.asprintf "rule %d: removal recompile invalid: %a"
+                   (i + 1) Validate.pp_error err)
+          | Ok vw -> (
+              let r =
+                Equiv.check_programs ~budget ~pair_budget
+                  compiled.Compile.naive vw
+              in
+              match r.Equiv.verdict with
+              | Equiv.Proved_equal -> classes.(i) <- Redundant
+              | Equiv.Counterexample _ -> ()
+              | Equiv.Unknown ->
+                  note
+                    (Format.asprintf "rule %d: redundancy undecided (%a)"
+                       (i + 1) Equiv.pp_reasons r.Equiv.reasons))
+        end
+      done;
+      (* Pass 4: keep conflicts whose rules are not already explained by a
+         stronger finding, and confirm each witness end to end. *)
+      let still_live k =
+        match classes.(k) with Live | Conflicting _ -> true | _ -> false
+      in
+      let conflicts =
+        List.rev !conflict_cands
+        |> List.filter_map (fun (j, i, w) ->
+               if still_live j && still_live i then begin
+                 if classes.(i) = Live then classes.(i) <- Conflicting j;
+                 let reference = Table.accepts table w in
+                 let replay v =
+                   Interp.accepts ~semantics:`Paper (Validate.program v) w
+                 in
+                 let confirmed =
+                   Rule.matches rules.(i) w
+                   && Rule.matches rules.(j) w
+                   && replay compiled.Compile.naive = reference
+                   && replay compiled.Compile.installed = reference
+                 in
+                 Some
+                   {
+                     earlier = j;
+                     later = i;
+                     witness = w;
+                     resolved = Table.eval table w;
+                     confirmed;
+                   }
+               end
+               else None)
+      in
+      Ok { compiled; classes; conflicts; unknowns = List.rev !unknowns }
+
+let findings r =
+  Array.fold_left
+    (fun acc c -> match c with Live -> acc | _ -> acc + 1)
+    0 r.classes
+
+let pp ppf r =
+  let t = r.compiled.Compile.table in
+  let rules = Array.of_list t.Table.rules in
+  let n = Array.length rules in
+  Format.fprintf ppf "%d rule(s), default %s; %d finding(s)@\n" n
+    (Rule.action_to_string t.Table.default)
+    (findings r);
+  Format.fprintf ppf "translation validation: %a%s (naive %d paths, optimized %d paths)@\n"
+    Equiv.pp_certification r.compiled.Compile.certification
+    (if r.compiled.Compile.fell_back then ", installed the naive chain" else "")
+    r.compiled.Compile.report.Equiv.paths_left
+    r.compiled.Compile.report.Equiv.paths_right;
+  Array.iteri
+    (fun i c ->
+      let rule = Rule.to_string rules.(i) in
+      match c with
+      | Live -> Format.fprintf ppf "rule %d: live — %s@\n" (i + 1) rule
+      | Shadowed j ->
+          Format.fprintf ppf "rule %d: SHADOWED by rule %d — %s@\n" (i + 1)
+            (j + 1) rule
+      | Dead ->
+          Format.fprintf ppf
+            "rule %d: DEAD (unreachable past the earlier rules) — %s@\n"
+            (i + 1) rule
+      | Redundant ->
+          Format.fprintf ppf
+            "rule %d: REDUNDANT (removal preserves table semantics) — %s@\n"
+            (i + 1) rule
+      | Conflicting j ->
+          Format.fprintf ppf "rule %d: CONFLICTING with rule %d — %s@\n"
+            (i + 1) (j + 1) rule)
+    r.classes;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf
+        "conflict rule %d vs rule %d: overlap resolves to %s (first match \
+         wins)%s@\n"
+        (c.earlier + 1) (c.later + 1)
+        (Rule.action_to_string c.resolved)
+        (if c.confirmed then ", witness replay confirmed"
+         else ", WITNESS NOT CONFIRMED");
+      let b = Packet.to_bytes c.witness in
+      Format.fprintf ppf "  witness %s@\n"
+        (String.concat ""
+           (List.init (Bytes.length b) (fun i ->
+                Printf.sprintf "%02x" (Bytes.get_uint8 b i)))))
+    r.conflicts;
+  List.iter (fun why -> Format.fprintf ppf "undecided: %s@\n" why) r.unknowns

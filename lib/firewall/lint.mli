@@ -1,0 +1,87 @@
+(** Static rule-table analysis: shadowed, dead, redundant and conflicting
+    rules, every verdict a proof or a confirmed witness.
+
+    The analyzer works on {e rule sets}: each rule's match predicate,
+    conjoined with the table's shape guard, compiles to a tiny program
+    whose accept set is exactly the set of packets the rule matches.
+    Questions about rule interactions become set questions the existing
+    machinery answers:
+
+    - {b pairwise relations} go through {!Pf_filter.Analysis.relate}
+      first (interval reasoning over the guard chains) and are upgraded
+      by the memoized symbolic {!Pf_filter.Equiv.relate_memo} where the
+      intervals cannot decide;
+    - {b emptiness} of a difference or intersection (is anything in
+      [i ∧ ¬j]?) runs {!Pf_filter.Symex} on the compiled set and asks
+      {!Pf_filter.Symex.solve} for a packet on each accepting path — all
+      refuted means provably empty, a model means a concrete witness
+      packet, re-checked against the reference semantics;
+    - {b redundancy} recompiles the table without the rule and asks
+      {!Pf_filter.Equiv.check} whether table semantics survived.
+
+    Classifications, in precedence order (a rule gets the first that
+    applies):
+
+    - [Shadowed j]: rule [j < i] matches every packet rule [i] matches —
+      [i] can never fire, and [j] alone is to blame.
+    - [Dead]: no packet reaches rule [i] past the {e union} of all
+      earlier rules, though no single rule shadows it.
+    - [Redundant]: rule [i] can fire, but deleting it provably changes
+      nothing — every packet it decides would be decided the same way
+      without it.
+    - [Conflicting j]: rules [i] and [j < i] overlap partially, neither
+      contains the other, and they disagree on the action — the classic
+      ordering ambiguity. Reported with a synthesized witness packet
+      from the overlap, on which [j] silently wins.
+    - [Live]: none of the above — the rule is reachable and
+      load-bearing.
+
+    A generalization (a later rule strictly containing an earlier one
+    with a different action — the standard "exception first, general
+    rule after" idiom) is deliberately {e not} a finding. *)
+
+type rule_class =
+  | Live
+  | Shadowed of int  (** by this earlier rule (0-based) *)
+  | Dead
+  | Redundant
+  | Conflicting of int  (** with this earlier rule (0-based) *)
+
+type conflict = {
+  earlier : int;
+  later : int;
+  witness : Pf_pkt.Packet.t;
+      (** a packet both rules match, synthesized by the solver *)
+  resolved : Rule.action;
+      (** what the table actually does on [witness] (the earlier rule —
+          or an even earlier one — wins) *)
+  confirmed : bool;
+      (** the witness replays identically through the reference
+          semantics, the naive chain and the installed program, and both
+          rules match it concretely *)
+}
+
+type report = {
+  compiled : Compile.compiled;
+  classes : rule_class array;
+  conflicts : conflict list;
+      (** all conflicting pairs among otherwise-live rules, not just the
+          first per rule *)
+  unknowns : string list;
+      (** checks that exhausted a budget or resisted the solver — absent
+          on tables within the solvable fragment *)
+}
+
+val analyze :
+  ?budget:int -> ?pair_budget:int -> Table.t ->
+  (report, Pf_filter.Validate.error) result
+(** Budgets default to {!Compile.default_budget} /
+    {!Compile.default_pair_budget} and are shared by the translation
+    validation, the pairwise relations and the emptiness queries. *)
+
+val findings : report -> int
+(** Number of rules classified other than [Live]. *)
+
+val pp : Format.formatter -> report -> unit
+(** The human-readable lint report `pftool fwlint` prints (stable —
+    pinned by a golden test). *)

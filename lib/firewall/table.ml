@@ -1,0 +1,78 @@
+module Packet = Pf_pkt.Packet
+
+type t = { rules : Rule.t list; default : Rule.action }
+
+let v ?(default = Rule.Drop) rules = { rules; default }
+
+let valid_shape pkt =
+  Packet.word_count pkt >= Rule.min_words
+  && Packet.word pkt Rule.ethertype_word = 0x0800
+  && Packet.word pkt Rule.vihl_word land 0xff00 = 0x4500
+
+let first_match t pkt =
+  if not (valid_shape pkt) then None
+  else
+    let rec go i = function
+      | [] -> None
+      | r :: rest -> if Rule.matches r pkt then Some i else go (i + 1) rest
+    in
+    go 0 t.rules
+
+let eval t pkt =
+  if not (valid_shape pkt) then Rule.Drop
+  else
+    match first_match t pkt with
+    | Some i -> (List.nth t.rules i).Rule.action
+    | None -> t.default
+
+let accepts t pkt = eval t pkt = Rule.Accept
+
+let equal a b =
+  a.default = b.default && List.equal Rule.equal a.rules b.rules
+
+let to_string t =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun r ->
+      Buffer.add_string b (Rule.to_string r);
+      Buffer.add_char b '\n')
+    t.rules;
+  Buffer.add_string b ("default " ^ Rule.action_to_string t.default ^ "\n");
+  Buffer.contents b
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let of_string text =
+  let strip_comment line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let exception Bad of string in
+  try
+    let default = ref None and rules = ref [] in
+    String.split_on_char '\n' text
+    |> List.iteri (fun lineno line ->
+           let fail msg =
+             raise (Bad (Printf.sprintf "line %d: %s" (lineno + 1) msg))
+           in
+           let line = String.trim (strip_comment line) in
+           if line = "" then ()
+           else
+             match String.split_on_char ' ' line with
+             | "default" :: rest -> (
+                 if !default <> None then fail "duplicate default line";
+                 match List.filter (fun s -> s <> "") rest with
+                 | [ "accept" ] -> default := Some Rule.Accept
+                 | [ "drop" ] -> default := Some Rule.Drop
+                 | _ -> fail "expected \"default accept\" or \"default drop\"")
+             | _ -> (
+                 match Rule.of_string line with
+                 | Ok r -> rules := r :: !rules
+                 | Error msg -> fail msg));
+    Ok
+      {
+        rules = List.rev !rules;
+        default = Option.value !default ~default:Rule.Drop;
+      }
+  with Bad msg -> Error msg

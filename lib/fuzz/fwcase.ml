@@ -1,0 +1,369 @@
+module Packet = Pf_pkt.Packet
+module Builder = Pf_pkt.Builder
+module Fw = Pf_firewall
+open Pf_filter
+
+type case = {
+  index : int;
+  table : Fw.Table.t;
+  packet : Packet.t;
+  shape : string;
+}
+
+type mismatch = { engine : string; detail : string }
+
+type outcome =
+  | Agreement of { accept : bool; certified : bool }
+  | Table_too_big
+  | Disagreement of mismatch list
+
+(* Small symbolic budgets: an adversarial random table whose path product
+   explodes should bail out of certification in milliseconds, not churn
+   through the full pair budget. Compile falls back to the naive chain on
+   an inconclusive check, and the engine comparisons below still cover
+   that program — so exhaustion is a recorded fallback, not a bug. *)
+let fuzz_budget = 8192
+let fuzz_pair_budget = 300_000
+
+(* {1 Generation}
+
+   Small constant pools shared by the table and the packet generator:
+   random packets drawn from the same addresses and ports the rules use
+   actually exercise the first-match chain instead of falling through to
+   the default on every case. *)
+
+let addr_pool =
+  [
+    Fw.Rule.any_addr;
+    Fw.Rule.addr_v 0x0a000000l 8 (* 10.0.0.0/8 *);
+    Fw.Rule.addr_v 0x0a010000l 16 (* 10.1.0.0/16 *);
+    Fw.Rule.addr_v 0x0a020000l 16 (* 10.2.0.0/16 *);
+    Fw.Rule.addr_v 0xc0a80000l 16 (* 192.168.0.0/16 *);
+    Fw.Rule.addr_v 0x0a010200l 24 (* 10.1.2.0/24 *);
+    Fw.Rule.addr_v 0x0a010203l 32 (* 10.1.2.3/32 *);
+  ]
+
+let ports_pool =
+  [
+    Fw.Rule.any_ports;
+    Fw.Rule.ports_v 22 22;
+    Fw.Rule.ports_v 53 53;
+    Fw.Rule.ports_v 80 443;
+    Fw.Rule.ports_v 0 1023;
+    Fw.Rule.ports_v 1024 65535;
+    Fw.Rule.ports_v 500 2000;
+  ]
+
+(* boundary-heavy port values: every pool endpoint and its neighbors *)
+let port_values =
+  [ 0; 7; 21; 22; 23; 52; 53; 54; 79; 80; 443; 444; 500; 999; 1000;
+    1023; 1024; 2000; 2001; 65535 ]
+
+let gen_rule rng =
+  let proto = Gen.Rng.choose rng [ Fw.Rule.Any_proto; Fw.Rule.Tcp; Fw.Rule.Udp ] in
+  let ports () =
+    if proto = Fw.Rule.Any_proto || Gen.Rng.chance rng 40 then Fw.Rule.any_ports
+    else Gen.Rng.choose rng ports_pool
+  in
+  {
+    Fw.Rule.action = (if Gen.Rng.bool rng then Fw.Rule.Accept else Fw.Rule.Drop);
+    proto;
+    src = Gen.Rng.choose rng addr_pool;
+    sports = ports ();
+    dst = Gen.Rng.choose rng addr_pool;
+    dports = ports ();
+  }
+
+let gen_table rng =
+  let n = 1 + Gen.Rng.int rng 4 in
+  Fw.Table.v
+    ~default:(if Gen.Rng.bool rng then Fw.Rule.Accept else Fw.Rule.Drop)
+    (List.init n (fun _ -> gen_rule rng))
+
+(* An address inside a pool prefix, host bits randomized. *)
+let gen_ip rng =
+  let spec = Gen.Rng.choose rng addr_pool in
+  let host =
+    Int32.logor
+      (Int32.shift_left (Int32.of_int (Gen.Rng.int rng 0x10000)) 16)
+      (Int32.of_int (Gen.Rng.int rng 0x10000))
+  in
+  let mask =
+    if spec.Fw.Rule.prefix = 0 then 0l
+    else Int32.shift_left (-1l) (32 - spec.Fw.Rule.prefix)
+  in
+  Int32.logor spec.Fw.Rule.addr (Int32.logand host (Int32.lognot mask))
+
+let gen_packet rng =
+  if Gen.Rng.chance rng 15 then begin
+    (* word soup, including lengths below the 19-word precondition *)
+    let words = Gen.Rng.int rng 24 in
+    ( Packet.of_words (List.init words (fun _ -> Gen.Rng.int rng 0x10000)),
+      "soup" )
+  end
+  else begin
+    let b = Builder.create () in
+    Builder.add_string b (String.make 12 '\x00');
+    let shapes = ref [] in
+    let shape tag = shapes := tag :: !shapes in
+    (* EtherType and version/IHL, occasionally wrong so the shape guard
+       (not just the rules) gets exercised *)
+    (if Gen.Rng.chance rng 8 then begin
+       shape "bad-ethertype";
+       Builder.add_word b 0x0806
+     end
+     else Builder.add_word b 0x0800);
+    (if Gen.Rng.chance rng 8 then begin
+       shape "bad-vihl";
+       Builder.add_word b 0x4600
+     end
+     else Builder.add_word b 0x4500);
+    Builder.add_word b 40 (* total length, unchecked *);
+    Builder.add_word b (Gen.Rng.int rng 0x10000) (* identification *);
+    let frag = Gen.Rng.choose rng [ 0; 0; 0; 1; 0x2000; 0x4000 ] in
+    if frag land 0x1fff <> 0 then shape "fragment";
+    Builder.add_word b frag;
+    let proto = Gen.Rng.choose rng [ 6; 6; 17; 17; 1 ] in
+    Builder.add_word b ((64 lsl 8) lor proto) (* TTL | protocol *);
+    Builder.add_word b 0 (* header checksum *);
+    Builder.add_word32 b (gen_ip rng);
+    Builder.add_word32 b (gen_ip rng);
+    Builder.add_word b (Gen.Rng.choose rng port_values);
+    Builder.add_word b (Gen.Rng.choose rng port_values);
+    let pkt = Builder.to_packet b in
+    let pkt =
+      if Gen.Rng.chance rng 12 then begin
+        shape "truncated";
+        Packet.sub pkt ~pos:0 ~len:(Gen.Rng.int rng (Packet.length pkt))
+      end
+      else pkt
+    in
+    let label =
+      String.concat "+"
+        ((match proto with 6 -> "tcp" | 17 -> "udp" | _ -> "icmp")
+         :: List.rev !shapes)
+    in
+    (pkt, label)
+  end
+
+let case ~seed ~index =
+  (* distinct stream from Runner's program/packet cases *)
+  let rng = Gen.Rng.derive ~seed:(seed lxor 0x66697265) ~index in
+  let table = gen_table rng in
+  let packet, shape = gen_packet rng in
+  { index; table; packet; shape }
+
+(* {1 The oracle} *)
+
+let hex p =
+  let b = Packet.to_bytes p in
+  String.concat ""
+    (List.init (Bytes.length b) (fun i ->
+         Printf.sprintf "%02x" (Bytes.get_uint8 b i)))
+
+let check table packet =
+  match Fw.Compile.compile ~budget:fuzz_budget ~pair_budget:fuzz_pair_budget table with
+  | Error _ -> Table_too_big
+  | Ok c ->
+      let reference = Fw.Table.accepts table packet in
+      let mismatches = ref [] in
+      let add engine detail = mismatches := { engine; detail } :: !mismatches in
+      let expect engine got =
+        if got <> reference then
+          add engine
+            (Printf.sprintf "accepts=%b, reference semantics say %b" got
+               reference)
+      in
+      let certified =
+        match c.Fw.Compile.certification with
+        | Equiv.Certified -> true
+        | Equiv.Refuted w ->
+            add "equiv" ("translation validation refuted, witness " ^ hex w);
+            false
+        | Equiv.Uncertified _ -> false
+      in
+      let naive = Validate.program c.Fw.Compile.naive in
+      let installed = c.Fw.Compile.installed in
+      expect "interp-naive" (Interp.accepts ~semantics:`Paper naive packet);
+      expect "interp-installed"
+        (Interp.accepts ~semantics:`Paper (Validate.program installed) packet);
+      expect "fast" (Fast.run (Fast.compile installed) packet);
+      expect "regvm" (Regvm.run (Regvm.compile installed) packet);
+      (match Fw.Table.of_string (Fw.Table.to_string table) with
+      | Ok t2 when Fw.Table.equal t2 table -> ()
+      | Ok _ -> add "parser" "text round-trip changed the table"
+      | Error e -> add "parser" ("text round-trip failed: " ^ e));
+      if !mismatches = [] then Agreement { accept = reference; certified }
+      else Disagreement (List.rev !mismatches)
+
+(* {1 Shrinking} *)
+
+let shrink ~keep table packet =
+  let try_table t' (t, p) = if keep t' p then (t', p) else (t, p) in
+  let step (t, p) =
+    let n = List.length t.Fw.Table.rules in
+    (* drop whole rules first — the big wins *)
+    let acc = ref (t, p) in
+    for i = n - 1 downto 0 do
+      let t, _ = !acc in
+      let rules = t.Fw.Table.rules in
+      if List.length rules > 1 then
+        acc :=
+          try_table
+            (Fw.Table.v ~default:t.Fw.Table.default
+               (List.filteri (fun k _ -> k <> i) rules))
+            !acc
+    done;
+    (* then generalize surviving fields to [any] *)
+    let t, _ = !acc in
+    List.iteri
+      (fun i (r : Fw.Rule.t) ->
+        let replace r' =
+          let t, _ = !acc in
+          acc :=
+            try_table
+              (Fw.Table.v ~default:t.Fw.Table.default
+                 (List.mapi
+                    (fun k r0 -> if k = i then r' else r0)
+                    t.Fw.Table.rules))
+              !acc
+        in
+        replace { r with Fw.Rule.src = Fw.Rule.any_addr };
+        replace { r with Fw.Rule.dst = Fw.Rule.any_addr };
+        replace { r with Fw.Rule.sports = Fw.Rule.any_ports };
+        replace { r with Fw.Rule.dports = Fw.Rule.any_ports };
+        if not (Fw.Rule.uses_ports r) then
+          replace { r with Fw.Rule.proto = Fw.Rule.Any_proto })
+      t.Fw.Table.rules;
+    (* finally, the packet: drop trailing bytes *)
+    let t, p = !acc in
+    let len = Packet.length p in
+    let rec chop len (t, p) =
+      if len <= 0 then (t, p)
+      else
+        let p' = Packet.sub p ~pos:0 ~len in
+        if keep t p' then chop (len - 2) (t, p') else (t, p)
+    in
+    chop (len - 2) (t, p)
+  in
+  let rec fix state =
+    let state' = step state in
+    if state' = state then state else fix state'
+  in
+  fix (table, packet)
+
+(* {1 Campaigns} *)
+
+type failure = {
+  index : int;
+  table : Fw.Table.t;
+  packet : Packet.t;
+  mismatches : mismatch list;
+  shrunk_table : Fw.Table.t;
+  shrunk_packet : Packet.t;
+  shrunk_mismatches : mismatch list;
+  repro : string;
+}
+
+type stats = {
+  seed : int;
+  cases : int;
+  too_big : int;
+  uncertified : int;
+  accepted : int;
+  failures : failure list;
+}
+
+let repro_command ~seed ~index =
+  Printf.sprintf "pffuzz --firewall --seed %d --index %d" seed index
+
+let run_case ~seed ~index () =
+  let c = case ~seed ~index in
+  (c, check c.table c.packet)
+
+let run ?(max_failures = 5) ?(should_stop = fun () -> false)
+    ?(progress = fun _ -> ()) ~seed ~iters () =
+  let cases = ref 0 and too_big = ref 0 and accepted = ref 0 in
+  let uncertified = ref 0 in
+  let failures = ref [] in
+  let index = ref 0 in
+  while
+    !index < iters
+    && List.length !failures < max_failures
+    && not (should_stop ())
+  do
+    let i = !index in
+    let c, outcome = run_case ~seed ~index:i () in
+    incr cases;
+    (match outcome with
+    | Agreement { accept; certified } ->
+        if accept then incr accepted;
+        if not certified then incr uncertified
+    | Table_too_big -> incr too_big
+    | Disagreement mismatches ->
+        let keep t p =
+          match check t p with Disagreement _ -> true | _ -> false
+        in
+        let shrunk_table, shrunk_packet = shrink ~keep c.table c.packet in
+        let shrunk_mismatches =
+          match check shrunk_table shrunk_packet with
+          | Disagreement ms -> ms
+          | _ -> []
+        in
+        failures :=
+          {
+            index = i;
+            table = c.table;
+            packet = c.packet;
+            mismatches;
+            shrunk_table;
+            shrunk_packet;
+            shrunk_mismatches;
+            repro = repro_command ~seed ~index:i;
+          }
+          :: !failures);
+    progress !cases;
+    incr index
+  done;
+  {
+    seed;
+    cases = !cases;
+    too_big = !too_big;
+    uncertified = !uncertified;
+    accepted = !accepted;
+    failures = List.rev !failures;
+  }
+
+(* {1 Reporting} *)
+
+let pp_mismatch ppf m = Format.fprintf ppf "%s: %s" m.engine m.detail
+
+let pp_outcome ppf = function
+  | Agreement { accept; certified } ->
+      Format.fprintf ppf "agreement (%s%s)"
+        (if accept then "accept" else "drop")
+        (if certified then "" else ", uncertified fallback")
+  | Table_too_big ->
+      Format.pp_print_string ppf "table too big for the filter machine"
+  | Disagreement ms ->
+      Format.fprintf ppf "@[<v>DISAGREEMENT:@,%a@]"
+        (Format.pp_print_list pp_mismatch)
+        ms
+
+let pp_failure ppf f =
+  Format.fprintf ppf
+    "@[<v>case %d:@,@[<v 2>table:@,%a@]packet: %s@,%a@,@[<v 2>shrunk \
+     table:@,%a@]shrunk packet: %s@,%a@,replay: %s@]"
+    f.index Fw.Table.pp f.table (hex f.packet)
+    (Format.pp_print_list pp_mismatch)
+    f.mismatches Fw.Table.pp f.shrunk_table (hex f.shrunk_packet)
+    (Format.pp_print_list pp_mismatch)
+    f.shrunk_mismatches f.repro
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "firewall campaign seed %d: %d cases, %d accepted, %d too-big skipped, \
+     %d uncertified fallback(s), %d disagreement(s)"
+    s.seed s.cases s.accepted s.too_big s.uncertified
+    (List.length s.failures);
+  List.iter (fun f -> Format.fprintf ppf "@,%a" pp_failure f) s.failures

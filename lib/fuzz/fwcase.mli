@@ -1,0 +1,85 @@
+(** Differential fuzzing for the firewall frontend.
+
+    A case is a random rule table plus a random packet (biased toward the
+    table's own address and port pools so rules actually fire). The oracle
+    runs the pair through the reference semantics
+    ({!Pf_firewall.Table.eval}) and every compiled form — the naive
+    first-match chain and the installed program under the checked
+    interpreter, the {!Pf_filter.Fast} engine and the {!Pf_filter.Regvm}
+    register VM — and additionally demands that the translation
+    validation certified the table and that the text form round-trips
+    through the parser. Like {!Runner}, a case is a pure function of
+    [(seed, index)], so reproduction is two integers. *)
+
+type case = {
+  index : int;
+  table : Pf_firewall.Table.t;
+  packet : Pf_pkt.Packet.t;
+  shape : string;  (** packet-shape label for reports *)
+}
+
+val case : seed:int -> index:int -> case
+
+type mismatch = { engine : string; detail : string }
+
+type outcome =
+  | Agreement of { accept : bool; certified : bool }
+      (** [certified = false] means the translation validation ran out of
+          budget on this table and the compile fell back to the naive
+          chain — still fully checked against the reference, just without
+          the optimized form. A {e refuted} validation, by contrast, is a
+          disagreement. *)
+  | Table_too_big
+      (** the naive chain overflows the 255-word program limit — a static
+          compile refusal, not a semantic bug; the case is skipped *)
+  | Disagreement of mismatch list
+
+val check : Pf_firewall.Table.t -> Pf_pkt.Packet.t -> outcome
+
+val shrink :
+  keep:(Pf_firewall.Table.t -> Pf_pkt.Packet.t -> bool) ->
+  Pf_firewall.Table.t -> Pf_pkt.Packet.t ->
+  Pf_firewall.Table.t * Pf_pkt.Packet.t
+(** Greedy minimizer: drop rules, generalize addresses, ports and
+    protocols to [any], truncate the packet — keeping [keep] true, to a
+    fixpoint. *)
+
+type failure = {
+  index : int;
+  table : Pf_firewall.Table.t;
+  packet : Pf_pkt.Packet.t;
+  mismatches : mismatch list;
+  shrunk_table : Pf_firewall.Table.t;
+  shrunk_packet : Pf_pkt.Packet.t;
+  shrunk_mismatches : mismatch list;
+  repro : string;
+}
+
+type stats = {
+  seed : int;
+  cases : int;
+  too_big : int;  (** skipped: table over the program-size limit *)
+  uncertified : int;
+      (** validation budget exhausted, naive fallback installed *)
+  accepted : int;
+  failures : failure list;
+}
+
+val repro_command : seed:int -> index:int -> string
+(** ["pffuzz --firewall --seed S --index I"]. *)
+
+val run_case : seed:int -> index:int -> unit -> case * outcome
+
+val run :
+  ?max_failures:int ->
+  ?should_stop:(unit -> bool) ->
+  ?progress:(int -> unit) ->
+  seed:int ->
+  iters:int ->
+  unit ->
+  stats
+
+val pp_mismatch : Format.formatter -> mismatch -> unit
+val pp_outcome : Format.formatter -> outcome -> unit
+val pp_failure : Format.formatter -> failure -> unit
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,367 @@
+(* The verified firewall frontend: grammar round-trips and parse errors,
+   reference semantics at the frame-shape edges (fragments, truncation,
+   wrong framing), translation-validated compilation of the shipped
+   example tables, the lint's exact classification of the seeded demo
+   table with a confirmed conflict witness, kernel installation and demux
+   agreement under both walk strategies, a fixed-seed differential fuzz
+   campaign, and the seeded last-match-wins mutant the oracle must catch
+   and shrink. *)
+
+module Packet = Pf_pkt.Packet
+module Builder = Pf_pkt.Builder
+module Rule = Pf_firewall.Rule
+module Table = Pf_firewall.Table
+module Compile = Pf_firewall.Compile
+module Lint = Pf_firewall.Lint
+module Install = Pf_firewall.Install
+module Fwcase = Pf_fuzz.Fwcase
+module Pfdev = Pf_kernel.Pfdev
+open Pf_filter
+
+(* Rule-for-rule copies of examples/clean.fw and examples/demo.fw; the
+   golden fwlint tests pin the files themselves, this suite pins the
+   classifications as data. *)
+let clean_src =
+  "default drop\n\
+   accept tcp from any to 10.0.0.0/8 port 22\n\
+   accept udp from any to 10.0.0.0/8 port 53\n\
+   accept tcp from any to 10.10.0.0/16 port 80-443\n"
+
+let demo_src =
+  "default drop\n\
+   accept tcp from any to 10.0.0.0/8 port 22\n\
+   accept tcp from any to 10.1.0.0/16 port 22\n\
+   drop tcp from any to 10.0.0.0/8 port 1024-65535\n\
+   accept tcp from any to 10.2.0.0/16 port 1000-2000\n\
+   drop tcp from any to 10.0.0.0/8 port 23-999\n\
+   accept tcp from any to 10.5.0.0/16 port 22-100\n\
+   drop udp from 192.168.0.0/16 to any\n\
+   accept udp from 10.0.0.0/8 to 10.0.0.0/8 port 53\n"
+
+let table_exn src =
+  match Table.of_string src with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "table parse: %s" e
+
+let rule_exn s =
+  match Rule.of_string s with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "rule parse %S: %s" s e
+
+let compile_exn t =
+  match Compile.compile t with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "compile: %a" Validate.pp_error e
+
+let analyze_exn t =
+  match Lint.analyze t with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "analyze: %a" Validate.pp_error e
+
+(* A 19-word Dix10 IPv4 frame with every matched field settable. *)
+let frame ?(ethertype = 0x0800) ?(vihl = 0x4500) ?(frag = 0) ?(proto = 6)
+    ?(src = 0x0a000001l) ?(dst = 0x0a000002l) ?(sport = 40000) ?(dport = 22)
+    () =
+  let b = Builder.create () in
+  Builder.add_string b (String.make 12 '\x00');
+  Builder.add_word b ethertype;
+  Builder.add_word b vihl;
+  Builder.add_word b 40 (* total length *);
+  Builder.add_word b 0 (* identification *);
+  Builder.add_word b frag;
+  Builder.add_word b ((64 lsl 8) lor proto);
+  Builder.add_word b 0 (* header checksum *);
+  Builder.add_word32 b src;
+  Builder.add_word32 b dst;
+  Builder.add_word b sport;
+  Builder.add_word b dport;
+  Builder.to_packet b
+
+(* {1 Grammar} *)
+
+let test_rule_roundtrip () =
+  (* already-canonical text must survive both directions unchanged *)
+  List.iter
+    (fun s ->
+      let r = rule_exn s in
+      Alcotest.(check string) s s (Rule.to_string r);
+      Alcotest.(check bool) "re-parse" true (Rule.equal r (rule_exn (Rule.to_string r))))
+    [
+      "accept tcp from any to 10.0.0.0/8 port 22";
+      "drop any from 192.168.0.0/16 to any";
+      "accept udp from 10.0.0.0/8 port 53 to 10.1.2.3 port 1024-65535";
+      "drop tcp from any port 0-1023 to any";
+      "accept any from any to any";
+    ];
+  (* normalizations: host bits cleared, /32 implicit, whitespace free *)
+  Alcotest.(check string) "host bits"
+    "drop tcp from 10.1.0.0/16 to any"
+    (Rule.to_string (rule_exn "drop  tcp  from 10.1.2.3/16 to any"));
+  Alcotest.(check string) "/32 implicit"
+    "accept udp from 10.1.2.3 to any"
+    (Rule.to_string (rule_exn "accept udp from 10.1.2.3/32 to any"))
+
+let test_rule_errors () =
+  List.iter
+    (fun s ->
+      match Rule.of_string s with
+      | Ok r -> Alcotest.failf "accepted %S as %S" s (Rule.to_string r)
+      | Error _ -> ())
+    [
+      "accept any from any port 22 to any" (* ports need tcp/udp *);
+      "permit tcp from any to any";
+      "accept icmp from any to any";
+      "accept tcp from 10.0.0.0/33 to any";
+      "accept tcp from 10.0.0 to any";
+      "accept tcp from any to any port 70000";
+      "accept tcp from any to any port 22-7";
+      "accept tcp from any to any port";
+      "accept tcp from any";
+      "accept tcp from any to any junk";
+      "";
+    ]
+
+let test_table_roundtrip () =
+  let t = table_exn demo_src in
+  Alcotest.(check int) "rules" 8 (List.length t.Table.rules);
+  Alcotest.(check bool) "default drop" true (t.Table.default = Rule.Drop);
+  (match Table.of_string (Table.to_string t) with
+  | Ok t2 -> Alcotest.(check bool) "round-trip" true (Table.equal t t2)
+  | Error e -> Alcotest.failf "re-parse: %s" e);
+  (* comments and blank lines vanish; default may come first or last *)
+  let t3 = table_exn "# policy\n\ndefault accept\naccept any from any to any # all\n" in
+  Alcotest.(check int) "commented rules" 1 (List.length t3.Table.rules);
+  Alcotest.(check bool) "default accept" true (t3.Table.default = Rule.Accept);
+  (match Table.of_string "default drop\ndefault accept\n" with
+  | Ok _ -> Alcotest.fail "duplicate default accepted"
+  | Error _ -> ());
+  match Table.of_string "accept any from any to any\ngarbage here\n" with
+  | Ok _ -> Alcotest.fail "garbage line accepted"
+  | Error e ->
+      Alcotest.(check string) "line number" "line 2" (String.sub e 0 6)
+
+(* {1 Reference semantics} *)
+
+let test_semantics () =
+  let t = table_exn "default drop\naccept tcp from any to 10.0.0.0/8 port 22\n" in
+  Alcotest.(check bool) "match" true (Table.accepts t (frame ()));
+  Alcotest.(check bool) "wrong port" false (Table.accepts t (frame ~dport:23 ()));
+  Alcotest.(check bool) "wrong proto" false (Table.accepts t (frame ~proto:17 ()));
+  Alcotest.(check bool) "wrong dst" false
+    (Table.accepts t (frame ~dst:0x0b000001l ()));
+  (* a ported rule must not match a non-first fragment: no transport
+     header there to read ports from *)
+  Alcotest.(check bool) "fragment vs ported rule" false
+    (Table.accepts t (frame ~frag:7 ()));
+  let portless = table_exn "default drop\naccept any from any to 10.0.0.0/8\n" in
+  Alcotest.(check bool) "fragment vs portless rule" true
+    (Table.accepts portless (frame ~frag:7 ()));
+  (* malformed frames drop before the rules, whatever the default *)
+  let ta = table_exn "default accept\n" in
+  Alcotest.(check bool) "well-formed" true (Table.accepts ta (frame ()));
+  Alcotest.(check bool) "truncated" false
+    (Table.accepts ta (Packet.sub (frame ()) ~pos:0 ~len:20));
+  Alcotest.(check bool) "bad ethertype" false
+    (Table.accepts ta (frame ~ethertype:0x0806 ()));
+  Alcotest.(check bool) "bad version" false
+    (Table.accepts ta (frame ~vihl:0x4600 ()))
+
+(* {1 Compilation} *)
+
+let test_examples_certified () =
+  List.iter
+    (fun (name, src) ->
+      let c = compile_exn (table_exn src) in
+      Alcotest.(check bool) (name ^ " certified") true
+        (c.Compile.certification = Equiv.Certified);
+      Alcotest.(check bool) (name ^ " no fallback") false c.Compile.fell_back;
+      (match c.Compile.report.Equiv.verdict with
+      | Equiv.Proved_equal -> ()
+      | _ -> Alcotest.fail (name ^ ": naive/optimized not proved equal"));
+      (* the optimized program must actually be smaller *)
+      let words v = Program.code_words (Validate.program v) in
+      Alcotest.(check bool) (name ^ " optimizer won") true
+        (words c.Compile.installed < words c.Compile.naive))
+    [ ("clean", clean_src); ("demo", demo_src) ]
+
+let test_rule_guards () =
+  (* a fully-exact rule leads with the shape guard's EtherType test *)
+  let guards, _exact =
+    Compile.rule_guards (rule_exn "accept tcp from any to any port 22")
+  in
+  Alcotest.(check bool) "nonempty" true (guards <> []);
+  Alcotest.(check bool) "ethertype first" true
+    (List.hd guards = (Rule.ethertype_word, 0x0800))
+
+(* {1 Lint} *)
+
+let test_clean_lint () =
+  let r = analyze_exn (table_exn clean_src) in
+  Alcotest.(check int) "findings" 0 (Lint.findings r);
+  Alcotest.(check bool) "all live" true
+    (Array.for_all (fun c -> c = Lint.Live) r.Lint.classes);
+  Alcotest.(check int) "conflicts" 0 (List.length r.Lint.conflicts);
+  Alcotest.(check int) "unknowns" 0 (List.length r.Lint.unknowns)
+
+let test_demo_lint () =
+  let t = table_exn demo_src in
+  let r = analyze_exn t in
+  let expected =
+    [|
+      Lint.Live;
+      Lint.Shadowed 0;
+      Lint.Live;
+      Lint.Conflicting 2;
+      Lint.Live;
+      Lint.Dead;
+      Lint.Redundant;
+      Lint.Live;
+    |]
+  in
+  Alcotest.(check int) "findings" 4 (Lint.findings r);
+  Alcotest.(check int) "classes" (Array.length expected)
+    (Array.length r.Lint.classes);
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) (Printf.sprintf "rule %d class" (i + 1)) true
+        (c = expected.(i)))
+    r.Lint.classes;
+  Alcotest.(check int) "unknowns" 0 (List.length r.Lint.unknowns);
+  match r.Lint.conflicts with
+  | [ c ] ->
+      Alcotest.(check int) "earlier" 2 c.Lint.earlier;
+      Alcotest.(check int) "later" 3 c.Lint.later;
+      Alcotest.(check bool) "confirmed" true c.Lint.confirmed;
+      Alcotest.(check bool) "drop wins by order" true
+        (c.Lint.resolved = Rule.Drop);
+      (* the synthesized witness is concretely in the overlap, and it
+         replays identically through the reference semantics, the naive
+         chain and the installed program *)
+      let w = c.Lint.witness in
+      let rule i = List.nth t.Table.rules i in
+      Alcotest.(check bool) "earlier rule matches witness" true
+        (Rule.matches (rule 2) w);
+      Alcotest.(check bool) "later rule matches witness" true
+        (Rule.matches (rule 3) w);
+      let reference = Table.accepts t w in
+      Alcotest.(check bool) "reference follows the earlier rule"
+        (c.Lint.resolved = Rule.Accept) reference;
+      let accepts v =
+        Interp.accepts ~semantics:`Paper (Validate.program v) w
+      in
+      Alcotest.(check bool) "naive chain replay" reference
+        (accepts r.Lint.compiled.Compile.naive);
+      Alcotest.(check bool) "installed program replay" reference
+        (accepts r.Lint.compiled.Compile.installed)
+  | cs -> Alcotest.failf "expected exactly 1 conflict, got %d" (List.length cs)
+
+(* {1 The memoized relate} *)
+
+let single_rule_program s =
+  Validate.check_exn
+    (Compile.optimized_program (Table.v ~default:Rule.Drop [ rule_exn s ]))
+
+let test_relate_memo () =
+  let va = single_rule_program "accept tcp from any to any port 22" in
+  let vb = single_rule_program "accept tcp from any to any port 80-443" in
+  (* intervals alone cannot decide this pair — the memoized symbolic
+     fallback must *)
+  Alcotest.(check bool) "analysis is stuck" true
+    (Analysis.relate va vb = Analysis.Unknown);
+  let memo = Equiv.Relate_memo.create () in
+  Alcotest.(check bool) "disjoint" true
+    (Equiv.relate_memo memo va vb = Analysis.Disjoint);
+  Alcotest.(check int) "memoized" 1 (Equiv.Relate_memo.size memo);
+  Alcotest.(check bool) "cache hit agrees" true
+    (Equiv.relate_memo memo va vb = Analysis.Disjoint);
+  Alcotest.(check int) "no regrowth" 1 (Equiv.Relate_memo.size memo);
+  Alcotest.(check bool) "matches the unmemoized relate" true
+    (Equiv.relate va vb = Analysis.Disjoint)
+
+(* {1 Kernel installation} *)
+
+let mk_dev () =
+  let costs = Pf_sim.Costs.free in
+  Pfdev.create (Pf_sim.Engine.create ())
+    (Pf_sim.Cpu.create costs)
+    costs
+    (Pf_sim.Stats.create ())
+    ~variant:Pf_net.Frame.Dix10
+    ~address:(Pf_net.Addr.eth_host 1)
+    ~send:(fun _ -> ())
+
+let test_install () =
+  let t = table_exn clean_src in
+  let probes =
+    [
+      frame () (* ssh into 10/8: accept *);
+      frame ~dport:23 ();
+      frame ~proto:17 ~dport:53 () (* dns: accept *);
+      frame ~dst:0x0a0a0001l ~dport:443 () (* web to 10.10/16: accept *);
+      frame ~dst:0x0b000001l ();
+      frame ~ethertype:0x0806 ();
+      frame ~vihl:0x4600 ();
+      frame ~frag:3 ();
+    ]
+  in
+  List.iter
+    (fun strategy ->
+      let dev = mk_dev () in
+      Pfdev.set_strategy dev strategy;
+      let port = Pfdev.open_port dev in
+      match Install.install port t with
+      | Error e -> Alcotest.failf "install: %a" Install.pp_error e
+      | Ok (c, _analysis) ->
+          Alcotest.(check bool) "certified program installed" true
+            (c.Compile.certification = Equiv.Certified);
+          List.iteri
+            (fun i pkt ->
+              Alcotest.(check bool)
+                (Printf.sprintf "demux = reference (probe %d)" i)
+                (Table.accepts t pkt) (Pfdev.demux dev pkt))
+            probes)
+    [ `Sequential; `Dispatch ]
+
+(* {1 The fuzz oracle} *)
+
+let test_fuzz_campaign () =
+  let stats = Fwcase.run ~seed:1 ~iters:200 () in
+  Alcotest.(check int) "cases" 200 stats.Fwcase.cases;
+  Alcotest.(check int) "disagreements" 0 (List.length stats.Fwcase.failures)
+
+let test_mutant_caught () =
+  let stats =
+    Fun.protect
+      ~finally:(fun () -> Compile.For_testing.last_match_wins := false)
+      (fun () ->
+        Compile.For_testing.last_match_wins := true;
+        Fwcase.run ~max_failures:1 ~seed:1 ~iters:2000 ())
+  in
+  match stats.Fwcase.failures with
+  | [] -> Alcotest.fail "last-match-wins mutant survived 2000 cases"
+  | f :: _ ->
+      (* shrinking must reduce the counterexample to its essence: two
+         rules whose order is the whole story *)
+      Alcotest.(check bool) "shrunk to at most 2 rules" true
+        (List.length f.Fwcase.shrunk_table.Table.rules <= 2);
+      Alcotest.(check bool) "reference semantics is the dissenter" true
+        (List.exists
+           (fun (m : Fwcase.mismatch) -> m.Fwcase.engine = "interp-naive")
+           f.Fwcase.shrunk_mismatches)
+
+let suite =
+  ( "firewall",
+    [
+      Alcotest.test_case "rule text round-trip" `Quick test_rule_roundtrip;
+      Alcotest.test_case "rule parse errors" `Quick test_rule_errors;
+      Alcotest.test_case "table parse and round-trip" `Quick test_table_roundtrip;
+      Alcotest.test_case "reference semantics edges" `Quick test_semantics;
+      Alcotest.test_case "examples compile certified" `Quick test_examples_certified;
+      Alcotest.test_case "rule guard chains" `Quick test_rule_guards;
+      Alcotest.test_case "clean table lints clean" `Quick test_clean_lint;
+      Alcotest.test_case "demo table classification" `Quick test_demo_lint;
+      Alcotest.test_case "memoized relate" `Quick test_relate_memo;
+      Alcotest.test_case "install and demux, both strategies" `Quick test_install;
+      Alcotest.test_case "fuzz campaign agrees" `Quick test_fuzz_campaign;
+      Alcotest.test_case "last-match-wins mutant caught" `Quick test_mutant_caught;
+    ] )

@@ -23,4 +23,5 @@ let () =
       Test_ir.suite;
       Test_symex.suite;
       Test_dispatch.suite;
+      Test_firewall.suite;
     ]
