@@ -1,13 +1,13 @@
 (* The demultiplexing flow cache on a skewed traffic mix.
 
-   Sixteen ports, each watching one Pup destination port (the figure 3-9
-   pattern the paper's section 6.5 costs out), receive a deterministic mix
-   in which 90% of the packets go to three "hot" sockets and the remaining
-   10% spread across the other thirteen. This is the regime the cache is
-   built for: a handful of live conversations dominating an interrupt path
-   that would otherwise interpret filters for every packet.
+   Sixteen flows from the shared traffic generator (Traffic.Gen) — the
+   default Pup/UDP/TCP/VMTP blend — each watched by one port, receive a
+   seeded mix in which 90% of the packets belong to three "hot" flows and
+   the remaining 10% spread across the other thirteen. This is the regime
+   the cache is built for: a handful of live conversations dominating an
+   interrupt path that would otherwise interpret filters for every packet.
 
-   The hot sockets' ports sit at the END of the priority walk, so the
+   The hot flows' ports sit at the END of the priority walk, so the
    uncached sequential demultiplexer pays the worst case for the common
    packets (until its own busier-first reordering kicks in); the cached one
    pays a probe. Everything is measured from the same simulation counters
@@ -17,17 +17,12 @@
 
 open Util
 module Pfdev = Pf_kernel.Pfdev
+module Gen = Pf_monitor.Traffic.Gen
 
-let n_ports = 16
+let n_flows = 16
 let n_packets = 2_000
-let hot = 3 (* sockets 13, 14, 15 — last in the walk *)
-
-let socket_of_index i = Int32.of_int (100 + i)
-
-(* Deterministic skew: 9 of every 10 packets to one of the [hot] sockets at
-   the end of the walk, the tenth to one of the cold ones. *)
-let target i =
-  if i mod 10 < 9 then n_ports - hot + (i mod hot) else i mod (n_ports - hot)
+let hot = 3
+let skew = Gen.Hot { hot; fraction = 0.9 }
 
 type result = {
   demux_us_per_packet : float;
@@ -40,21 +35,19 @@ let run_mix ~cache () =
   let world = dix_world ~costs_a:Pf_sim.Costs.free () in
   let pf = Host.pf world.b in
   Pfdev.set_cache_enabled pf cache;
-  List.iter
-    (fun i ->
-      let p = Pfdev.open_port pf in
-      set_filter_exn p (Pf_filter.Predicates.pup_dst_port_10mb ~host:2 (socket_of_index i));
-      Pfdev.set_queue_limit p n_packets)
-    (List.init n_ports Fun.id);
-  let frames =
-    Array.init n_ports (fun i ->
-        sized_frame ~src:(Host.addr world.a) ~dst:(Host.addr world.b)
-          ~socket:(socket_of_index i) ~total:128)
-  in
-  let accepted = ref 0 in
-  for i = 0 to n_packets - 1 do
-    if Pfdev.demux pf frames.(target i) then incr accepted
+  (* A fresh generator per run with the same seed: the cached and uncached
+     passes see byte-identical frame sequences. Descending open order puts
+     the hot flows (the lowest indices) at the end of the walk. *)
+  let gen = Gen.make ~seed:!run_seed ~flows:n_flows ~skew () in
+  for i = n_flows - 1 downto 0 do
+    let p = Pfdev.open_port pf in
+    set_filter_exn p (Gen.filter (Gen.flow gen i));
+    Pfdev.set_queue_limit p n_packets
   done;
+  let accepted = ref 0 in
+  List.iter
+    (fun flow -> if Pfdev.demux pf (Gen.frame flow) then incr accepted)
+    (Gen.sequence gen n_packets);
   Engine.run world.engine;
   let per name = float_of_int (Pf_sim.Stats.get (Host.stats world.b) name)
                  /. float_of_int n_packets in
@@ -75,8 +68,8 @@ let run () =
          on.accepted off.accepted n_packets);
   print_table
     ~title:
-      (Printf.sprintf "Flow cache: skewed mix (%d ports, %d packets, 90%% to %d hot sockets)"
-         n_ports n_packets hot)
+      (Printf.sprintf "Flow cache: skewed mix (%d flows, %d packets, 90%% to %d hot flows)"
+         n_flows n_packets hot)
     ~note:
       (Printf.sprintf
          "note: cache hit rate %.1f%%; the cached interrupt path replaces the\n\

@@ -5,16 +5,17 @@
    cost grows linearly in the number of open ports; the dispatch automaton
    (Pf_filter.Dispatch) groups every port watching the same guard words
    into one hash table, so classification costs one probe per *group*
-   regardless of the port count. Here every port watches a distinct Pup
-   destination socket through the same filter shape — the many-users
-   regime of the ROADMAP's north star — so the whole set collapses into a
-   single two-word group and the curve should go flat.
+   regardless of the port count. Here every port watches a distinct flow of
+   an all-Pup mix from the shared traffic generator (Traffic.Gen) through
+   the same filter shape — the many-users regime of the ROADMAP's north
+   star — so the whole set collapses into a single two-word group and the
+   curve should go flat.
 
-   Two deterministic mixes per port count: uniform (every port equally
-   likely) and skewed (90% of packets to 3 hot sockets at the END of the
-   walk — the sequential demultiplexer's worst case). Measured from the
-   same counter the paper's tables use ("pf.demux_cpu_us" per packet),
-   automaton vs walk, plus the automaton composed with the flow cache.
+   Two seeded mixes per port count: uniform (every flow equally likely)
+   and skewed (90% of packets to 3 hot flows at the END of the walk — the
+   sequential demultiplexer's worst case). Measured from the same counter
+   the paper's tables use ("pf.demux_cpu_us" per packet), automaton vs
+   walk, plus the automaton composed with the flow cache.
 
    The run *fails* — the CI smoke criterion — if the automaton is ever
    slower than the walk, if it is not >= 5x faster at 1,000 ports, or if
@@ -22,19 +23,15 @@
 
 open Util
 module Pfdev = Pf_kernel.Pfdev
+module Gen = Pf_monitor.Traffic.Gen
 
 let port_counts = [ 10; 100; 1_000; 10_000 ]
 let n_packets = 100 (* < 256: no busier-first reorder mid-measurement *)
 let hot = 3
 
-let socket_of_index i = Int32.of_int (1_000 + i)
-
-let target ~mix ~n i =
-  match mix with
-  | `Uniform -> i * 7919 mod n
-  | `Skewed ->
-    (* 9 of 10 packets to the [hot] sockets at the end of the walk. *)
-    if i mod 10 < 9 then n - hot + (i mod hot) else i * 7919 mod (n - hot)
+let skew_of = function
+  | `Uniform -> Gen.Uniform
+  | `Skewed -> Gen.Hot { hot; fraction = 0.9 }
 
 type result = { us_per_packet : float; insns_per_packet : float }
 
@@ -43,29 +40,24 @@ let run_mix ~n ~mix ~strategy ~cache =
   let pf = Host.pf world.b in
   Pfdev.set_cache_enabled pf cache;
   Pfdev.set_strategy pf strategy;
-  for i = 0 to n - 1 do
+  (* A fresh generator per run with the same seed: every strategy and
+     cache setting sees the identical frame sequence. All-Pup blend, one
+     filter shape, so the automaton indexes the set as one group.
+     Descending open order puts the hot flows (the lowest indices) at the
+     end of the walk. *)
+  let gen =
+    Gen.make ~blend:[ (Gen.Pup, 1.) ] ~seed:!run_seed ~flows:n
+      ~skew:(skew_of mix) ()
+  in
+  for i = n - 1 downto 0 do
     let p = Pfdev.open_port pf in
-    set_filter_exn p
-      (Pf_filter.Predicates.pup_dst_port_10mb ~host:2 (socket_of_index i));
+    set_filter_exn p (Gen.filter (Gen.flow gen i));
     Pfdev.set_queue_limit p n_packets
   done;
-  let frame i =
-    sized_frame ~src:(Host.addr world.a) ~dst:(Host.addr world.b)
-      ~socket:(socket_of_index i) ~total:128
-  in
-  let frames = Hashtbl.create 16 in
-  let frame_of i =
-    match Hashtbl.find_opt frames i with
-    | Some f -> f
-    | None ->
-      let f = frame i in
-      Hashtbl.add frames i f;
-      f
-  in
   let accepted = ref 0 in
-  for i = 0 to n_packets - 1 do
-    if Pfdev.demux pf (frame_of (target ~mix ~n i)) then incr accepted
-  done;
+  List.iter
+    (fun flow -> if Pfdev.demux pf (Gen.frame flow) then incr accepted)
+    (Gen.sequence gen n_packets);
   Engine.run world.engine;
   if !accepted <> n_packets then
     failwith
@@ -132,7 +124,7 @@ let run () =
              "Dispatch automaton vs linear walk, %s mix (%d packets, us/packet)"
              (mix_name mix) n_packets)
         ~note:
-          "every port watches a distinct Pup socket via the same filter \
+          "every port watches a distinct Pup flow via the same filter \
            shape, so the automaton indexes the whole set as one group; \
            'linear' is the paper's sequential walk, cache off in both"
         (List.map

@@ -22,6 +22,7 @@ let experiments =
     ("dispatch", "Demux scaling: dispatch automaton vs linear walk (10 -> 10k ports)",
      Exp_dispatch.run);
     ("fw", "Firewall frontend: lint cost + verified optimization payoff", Exp_fw.run);
+    ("smp", "Multi-CPU receive scaling with RSS steering (1 -> 8 CPUs)", Exp_smp.run);
     ("figures", "Figures 2-1/2-2, 2-3, 3-4/3-5 cost decompositions", Exp_figures.run);
     ("ablation", "Design ablations + Bechamel microbenchmarks", Exp_ablation.run);
   ]
@@ -57,8 +58,10 @@ let () =
        dispatch metrics go to their own files, everything else — the §6
        demux tables, the flow cache, the interpreter profile — to the
        original BENCH_demux.json. *)
-    Util.write_json_excluding "BENCH_demux.json" ~prefixes:[ "ir_"; "dispatch_"; "fw_" ];
+    Util.write_json_excluding "BENCH_demux.json"
+      ~prefixes:[ "ir_"; "dispatch_"; "fw_"; "smp_" ];
     Util.write_json_filtered "BENCH_ir.json" ~prefix:"ir_";
     Util.write_json_filtered "BENCH_dispatch.json" ~prefix:"dispatch_";
-    Util.write_json_filtered "BENCH_fw.json" ~prefix:"fw_"
+    Util.write_json_filtered "BENCH_fw.json" ~prefix:"fw_";
+    Util.write_json_filtered "BENCH_smp.json" ~prefix:"smp_"
   end

@@ -16,13 +16,14 @@ type world = {
   b : Host.t; (* server / receiver *)
 }
 
-let dix_world ?(costs = Costs.microvax_ii) ?costs_a ?costs_b ?(rate = 10.) () =
+let dix_world ?(costs = Costs.microvax_ii) ?costs_a ?costs_b ?ncpus_b ?(rate = 10.)
+    () =
   let engine = Engine.create () in
   let link = Pf_net.Link.create engine Frame.Dix10 ~rate_mbit:rate () in
   let costs_a = Option.value ~default:costs costs_a in
   let costs_b = Option.value ~default:costs costs_b in
   let a = Host.create ~costs:costs_a link ~name:"a" ~addr:(Addr.eth_host 1) in
-  let b = Host.create ~costs:costs_b link ~name:"b" ~addr:(Addr.eth_host 2) in
+  let b = Host.create ~costs:costs_b ?ncpus:ncpus_b link ~name:"b" ~addr:(Addr.eth_host 2) in
   { engine; link; a; b }
 
 let exp3_world ?(costs = Costs.microvax_ii) ?(rate = 3.) () =
@@ -119,9 +120,30 @@ let set_filter_exn port program =
 let json_metrics : (string * float) list ref = ref []
 let record_metric name value = json_metrics := (name, value) :: !json_metrics
 
+(* {2 Run metadata}
+
+   Every BENCH_*.json artifact is stamped with the same run header — the
+   generator seed, the CPU counts exercised, and the source revision — so a
+   downloaded artifact identifies the run that produced it. *)
+
+let run_seed = ref 0x5EED (* the default Traffic.Gen seed the benches use *)
+let run_cpus = ref 1 (* highest CPU count exercised; bench smp raises it *)
+
+let git_describe =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git describe --always --dirty 2>/dev/null" in
+       let line = try input_line ic with End_of_file -> "" in
+       ignore (Unix.close_process_in ic : Unix.process_status);
+       if line = "" then "unknown" else line
+     with _ -> "unknown")
+
 let write_rows path rows =
   let oc = open_out path in
   output_string oc "{\n";
+  Printf.fprintf oc "  \"meta.git\": %S,\n" (Lazy.force git_describe);
+  Printf.fprintf oc "  \"meta.seed\": %d,\n" !run_seed;
+  Printf.fprintf oc "  \"meta.cpus\": %d,\n" !run_cpus;
   let last = List.length rows - 1 in
   List.iteri
     (fun i (k, v) -> Printf.fprintf oc "  %S: %.6f%s\n" k v (if i = last then "" else ","))

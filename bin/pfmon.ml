@@ -124,6 +124,8 @@ let run filter_file expr duration_ms seed quiet write_file read_file flows =
       (Pf_monitor.Capture.drops capture);
     Format.printf "pfmon: %a@.@." Pf_kernel.Pfdev.pp_cache_stats
       (Pf_kernel.Pfdev.cache_stats (Host.pf watcher));
+    Format.printf "pfmon: %a@.@." Pf_kernel.Pfdev.pp_smp_stats
+      (Pf_kernel.Pfdev.smp_stats (Host.pf watcher));
     (match write_file with
     | Some path ->
       Pf_monitor.Tracefile.write_file path Pf_net.Frame.Dix10 trace;

@@ -772,6 +772,109 @@ let verify_cmd =
           witness packet")
     Term.(const run $ files $ builtin $ json $ strict $ budget $ cex_dir)
 
+(* {1 SMP steering} *)
+
+let smp_cmd =
+  let cpus =
+    Arg.(value & opt int 4
+         & info [ "cpus" ] ~docv:"N" ~doc:"CPUs in the simulated receive complex.")
+  in
+  let packets =
+    Arg.(value & opt int 1_000
+         & info [ "packets" ] ~docv:"N" ~doc:"Packets to draw from the mix.")
+  in
+  let flows =
+    Arg.(value & opt int 32
+         & info [ "flows" ] ~docv:"N" ~doc:"Flows in the generated mix.")
+  in
+  let seed =
+    Arg.(value & opt int 0x5EED
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Traffic generator seed (replayable).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit one JSON document on stdout instead of text, for CI \
+                   and downstream tooling.")
+  in
+  let run cpus packets flows seed json =
+    if cpus < 1 then begin
+      Printf.eprintf "pftool: --cpus must be >= 1\n";
+      exit 2
+    end;
+    (* A self-contained receive simulation: one host with [cpus] CPUs, one
+       port per generated flow, NIC receive-side steering hashing each
+       frame's flow-cache key to a CPU — then the per-CPU counters. *)
+    let module Gen = Pf_monitor.Traffic.Gen in
+    let module Host = Pf_kernel.Host in
+    let module Pfdev = Pf_kernel.Pfdev in
+    let engine = Pf_sim.Engine.create () in
+    let link = Pf_net.Link.create engine Pf_net.Frame.Dix10 ~rate_mbit:10. () in
+    let host =
+      Host.create ~ncpus:cpus link ~name:"rx" ~addr:(Pf_net.Addr.eth_host 2)
+    in
+    let pf = Host.pf host in
+    let gen = Gen.make ~seed ~flows ~skew:(Gen.Zipf 1.2) () in
+    for i = flows - 1 downto 0 do
+      let p = Pfdev.open_port pf in
+      (match Pfdev.set_filter p (Gen.filter (Gen.flow gen i)) with
+      | Ok () -> ()
+      | Error e ->
+        Format.eprintf "pftool: install: %a@." Pfdev.pp_install_error e;
+        exit 2);
+      Pfdev.set_queue_limit p packets
+    done;
+    Pf_sim.Engine.run engine;
+    List.iter (fun flow -> Host.inject host (Gen.frame flow))
+      (Gen.sequence gen packets);
+    Pf_sim.Engine.run engine;
+    let s = Pfdev.smp_stats pf in
+    if json then begin
+      print_string
+        (json_obj
+           [ ("cpus", string_of_int s.Pfdev.ncpus);
+             ("packets", string_of_int packets);
+             ("flows", string_of_int flows);
+             ("seed", string_of_int seed);
+             ("per_cpu",
+              json_arr
+                (List.map
+                   (fun (c : Pfdev.smp_cpu_stats) ->
+                     json_obj
+                       [ ("cpu", string_of_int c.Pfdev.cpu);
+                         ("packets", string_of_int c.Pfdev.packets);
+                         ("cache_hits", string_of_int c.Pfdev.cache_hits);
+                         ("cache_misses", string_of_int c.Pfdev.cache_misses);
+                         ("lock_waits", string_of_int c.Pfdev.lock_waits);
+                         ("lock_wait_us", string_of_int c.Pfdev.lock_wait_us);
+                         ("ipis_sent", string_of_int c.Pfdev.ipis_sent);
+                         ("ipis_received", string_of_int c.Pfdev.ipis_received);
+                         ("busy_us", string_of_int c.Pfdev.busy_us);
+                         ("idle_us", string_of_int c.Pfdev.idle_us) ])
+                   s.Pfdev.per_cpu));
+             ("lock",
+              json_obj
+                [ ("acquisitions", string_of_int s.Pfdev.lock_acquisitions);
+                  ("contended", string_of_int s.Pfdev.lock_contended);
+                  ("wait_us", string_of_int s.Pfdev.lock_wait_total_us) ]);
+             ("ipis", string_of_int s.Pfdev.ipis) ]);
+      print_newline ()
+    end
+    else begin
+      Printf.printf
+        "%d packets over %d flows (Zipf 1.2, seed %#x) steered across %d CPU(s)\n"
+        packets flows seed cpus;
+      Format.printf "%a@." Pfdev.pp_smp_stats s
+    end
+  in
+  Cmd.v
+    (Cmd.info "smp"
+       ~doc:
+         "Simulate receive-side steering of a seeded flow mix across N \
+          CPUs and report the per-CPU counters: packets steered, private \
+          flow-cache hits, delivery-lock contention, and invalidation IPIs")
+    Term.(const run $ cpus $ packets $ flows $ seed $ json)
+
 (* {1 Firewall rule tables} *)
 
 module Fw = Pf_firewall
@@ -1012,5 +1115,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ asm_cmd; disasm_cmd; run_cmd; compile_cmd; fields_cmd; examples_cmd; lint_cmd;
-            cache_cmd; dispatch_cmd; ir_cmd; equiv_cmd; verify_cmd; fwcompile_cmd;
-            fwlint_cmd ]))
+            cache_cmd; dispatch_cmd; smp_cmd; ir_cmd; equiv_cmd; verify_cmd;
+            fwcompile_cmd; fwlint_cmd ]))

@@ -1,5 +1,6 @@
 module Engine = Pf_sim.Engine
 module Cpu = Pf_sim.Cpu
+module Smp = Pf_sim.Smp
 module Costs = Pf_sim.Costs
 module Stats = Pf_sim.Stats
 module Process = Pf_sim.Process
@@ -7,7 +8,8 @@ module Process = Pf_sim.Process
 type t = {
   name : string;
   engine : Engine.t;
-  cpu : Cpu.t;
+  smp : Smp.t; (* CPU 0 is the boot CPU: processes and kernel protocols *)
+  steered : bool; (* NIC receive-side steering (the [?ncpus] path) *)
   costs : Costs.t;
   stats : Stats.t;
   nic : Pf_net.Nic.t;
@@ -18,21 +20,27 @@ type t = {
 
 let name t = t.name
 let engine t = t.engine
-let cpu t = t.cpu
+let cpu t = Smp.cpu t.smp 0
+let smp t = t.smp
+let ncpus t = Smp.ncpus t.smp
 let costs t = t.costs
 let stats t = t.stats
 let nic t = t.nic
 let addr t = Pf_net.Nic.addr t.nic
 let pf t = t.pf
 
-(* One receive path per interface: driver interrupt, then the type-field
+(* One receive path per interface: driver interrupt (on the receive CPU the
+   NIC steered the frame to; CPU 0 without steering), then the type-field
    dispatch between host-wide kernel protocols and that interface's packet
-   filter unit. *)
-let rx t nic pf frame =
+   filter unit. Kernel-resident protocol handlers charge their own work via
+   [in_kernel], which runs on the boot CPU — only the interrupt half of the
+   receive path scales across CPUs, as in real kernels before per-CPU
+   protocol processing. *)
+let rx t nic pf ~cpu:cpu_id frame =
   Stats.incr t.stats "host.rx";
   Stats.incr ~by:t.costs.Costs.recv_interrupt t.stats "host.interrupt_cpu_us";
   let finish =
-    Cpu.run t.cpu ~owner:`Interrupt ~start:(Engine.now t.engine)
+    Cpu.run (Smp.cpu t.smp cpu_id) ~owner:`Interrupt ~start:(Engine.now t.engine)
       ~cost:t.costs.Costs.recv_interrupt
   in
   Engine.schedule t.engine ~at:finish (fun () ->
@@ -48,41 +56,77 @@ let rx t nic pf frame =
       match kernel_handler with
       | Some handler ->
         Stats.incr t.stats "host.rx.kernel_proto";
-        ignore (Pfdev.demux pf ~kernel_claimed:true frame : bool);
+        ignore (Pfdev.demux pf ~cpu:cpu_id ~kernel_claimed:true frame : bool);
         handler frame
       | None ->
-        if not (Pfdev.demux pf frame) then Stats.incr t.stats "host.rx.unclaimed")
+        if not (Pfdev.demux pf ~cpu:cpu_id frame) then
+          Stats.incr t.stats "host.rx.unclaimed")
 
-let create ?(costs = Costs.microvax_ii) link ~name ~addr =
+(* Wire an interface's receive side. With steering, the NIC's receive
+   hashing ({!Pfdev.steer}: the flow-cache key bytes modulo the CPU count)
+   picks the queue, and queues map to CPUs one-to-one — same flow, same
+   CPU, so each CPU's flow cache stays private and warm. *)
+let wire_rx t nic pf =
+  if t.steered then
+    Pf_net.Nic.set_rss nic ~hash:(Pfdev.steer pf) ~rx:(fun ~queue frame ->
+        rx t nic pf ~cpu:queue frame)
+  else Pf_net.Nic.set_rx nic (rx t nic pf ~cpu:0)
+
+let create ?(costs = Costs.microvax_ii) ?ncpus link ~name ~addr =
   let engine = Pf_net.Link.engine link in
-  let cpu = Cpu.create costs in
+  let smp, steered =
+    match ncpus with
+    | None -> (Smp.create ~ncpus:1 engine costs, false)
+    | Some n -> (Smp.create ~ncpus:n engine costs, true)
+  in
   let stats = Stats.create () in
   let nic = Pf_net.Nic.create link ~addr in
   let pf =
-    Pfdev.create engine cpu costs stats ~variant:(Pf_net.Link.variant link) ~address:addr
+    Pfdev.create_smp engine smp costs stats ~variant:(Pf_net.Link.variant link)
+      ~address:addr
       ~send:(fun frame -> Pf_net.Nic.send_frame nic frame)
   in
   let t =
-    { name; engine; cpu; costs; stats; nic; pf; extra_interfaces = []; protocols = [] }
+    {
+      name;
+      engine;
+      smp;
+      steered;
+      costs;
+      stats;
+      nic;
+      pf;
+      extra_interfaces = [];
+      protocols = [];
+    }
   in
-  Pf_net.Nic.set_rx nic (rx t nic pf);
+  wire_rx t nic pf;
   t
 
 let add_interface t link ~addr =
   let nic = Pf_net.Nic.create link ~addr in
   let pf =
-    Pfdev.create t.engine t.cpu t.costs t.stats ~variant:(Pf_net.Link.variant link)
-      ~address:addr
+    Pfdev.create_smp t.engine t.smp t.costs t.stats
+      ~variant:(Pf_net.Link.variant link) ~address:addr
       ~send:(fun frame -> Pf_net.Nic.send_frame nic frame)
   in
-  Pf_net.Nic.set_rx nic (rx t nic pf);
+  wire_rx t nic pf;
   t.extra_interfaces <- t.extra_interfaces @ [ (nic, pf) ];
   (nic, pf)
+
+(* Drive the primary interface's receive path directly, bypassing link
+   arbitration and serialization — a packet source faster than any simulated
+   wire, for scaling experiments where the link would otherwise be the
+   bottleneck. Steering still applies. *)
+let inject t frame =
+  Stats.incr t.stats "host.inject";
+  let cpu_id = if t.steered then Pfdev.steer t.pf frame else 0 in
+  rx t t.nic t.pf ~cpu:cpu_id frame
 
 let interfaces t = (t.nic, t.pf) :: t.extra_interfaces
 let join_multicast t group = Pf_net.Nic.join_multicast t.nic group
 
-let spawn t ~name body = Process.spawn t.engine t.cpu ~name body
+let spawn t ~name body = Process.spawn t.engine (cpu t) ~name body
 
 let register_protocol t ~ethertype handler =
   t.protocols <- (ethertype, handler) :: List.remove_assoc ethertype t.protocols
@@ -90,7 +134,7 @@ let register_protocol t ~ethertype handler =
 let unregister_protocol t ~ethertype = t.protocols <- List.remove_assoc ethertype t.protocols
 
 let in_kernel t ~cost k =
-  let finish = Cpu.run t.cpu ~owner:`Interrupt ~start:(Engine.now t.engine) ~cost in
+  let finish = Cpu.run (cpu t) ~owner:`Interrupt ~start:(Engine.now t.engine) ~cost in
   Engine.schedule t.engine ~at:finish k
 
 let kernel_send t ~cost frame =

@@ -9,13 +9,33 @@
 type t
 
 val create :
-  ?costs:Pf_sim.Costs.t -> Pf_net.Link.t -> name:string -> addr:Pf_net.Addr.t -> t
+  ?costs:Pf_sim.Costs.t ->
+  ?ncpus:int ->
+  Pf_net.Link.t ->
+  name:string ->
+  addr:Pf_net.Addr.t ->
+  t
 (** Attaches a fresh NIC to the link and installs the kernel receive
-    handler. [costs] defaults to {!Pf_sim.Costs.microvax_ii}. *)
+    handler. [costs] defaults to {!Pf_sim.Costs.microvax_ii}.
+
+    [ncpus] selects the SMP receive path: the NIC steers each arriving
+    frame to one of [ncpus] CPUs by hashing the flow-cache key bytes
+    ({!Pfdev.steer}), and the whole receive half — driver interrupt plus
+    packet filter demultiplexing — runs on that CPU against its private
+    flow cache. Omitted (the default), the host is the legacy single-CPU
+    machine: one CPU, single-queue NIC, no steering. [~ncpus:1] takes the
+    steering code path on one CPU and is cost-for-cost identical to the
+    default (the SMP accounting gate in [bench smp] checks exactly this).
+    Processes and kernel-resident protocol work always run on CPU 0. *)
 
 val name : t -> string
 val engine : t -> Pf_sim.Engine.t
+
 val cpu : t -> Pf_sim.Cpu.t
+(** CPU 0, the boot CPU. *)
+
+val smp : t -> Pf_sim.Smp.t
+val ncpus : t -> int
 val costs : t -> Pf_sim.Costs.t
 val stats : t -> Pf_sim.Stats.t
 val nic : t -> Pf_net.Nic.t
@@ -36,6 +56,13 @@ val interfaces : t -> (Pf_net.Nic.t * Pfdev.t) list
 
 val join_multicast : t -> Pf_net.Addr.t -> unit
 (** Subscribe the primary interface to an Ethernet multicast group. *)
+
+val inject : t -> Pf_pkt.Packet.t -> unit
+(** Hand a frame straight to the primary interface's receive path — no link
+    arbitration or wire serialization, but full receive-side costs (driver
+    interrupt, demultiplexing, delivery) and, on an SMP host, full receive
+    steering. For load generators that must exceed any simulated wire rate
+    (the CPU-scaling experiments). *)
 
 val spawn : t -> name:string -> (unit -> unit) -> Pf_sim.Process.t
 (** Start a user process on this host. *)

@@ -1,6 +1,7 @@
 module Packet = Pf_pkt.Packet
 module Engine = Pf_sim.Engine
 module Cpu = Pf_sim.Cpu
+module Smp = Pf_sim.Smp
 module Costs = Pf_sim.Costs
 module Stats = Pf_sim.Stats
 module Process = Pf_sim.Process
@@ -48,7 +49,7 @@ type port = {
 
 and t = {
   engine : Engine.t;
-  cpu : Cpu.t;
+  smp : Smp.t; (* CPU 0 is the boot CPU; demux runs on the steered CPU *)
   costs : Costs.t;
   stats : Stats.t;
   variant : Frame.variant;
@@ -61,19 +62,28 @@ and t = {
   mutable compile_strategy : [ `Off | `Raise_only | `Regvm ];
   mutable certify : bool; (* translation-validate install-time compilation *)
   mutable tree : port Pf_filter.Decision.t option; (* cache; None = dirty *)
-  mutable dispatch : dispatch_state;
+  dispatch : dispatch_state array; (* one private automaton per CPU *)
   mutable dispatch_rebuilds : int;
   mutable dispatch_classifies : int;
   mutable dispatch_exact_accepts : int;
   mutable dispatch_candidates : int;
   mutable dispatch_residual_runs : int;
   mutable cost_limit : int option; (* admission bound on a filter's cost_bound *)
-  cache : flow_cache;
+  mutable cache_enabled : bool;
+  mutable cache_capacity : int;
+  mutable key_state : key_state; (* shared: derived from the filter set *)
+  caches : flow_cache array; (* one private, contention-free cache per CPU *)
+  delivery_lock : Smp.lock; (* shared port queues; only taken when ncpus > 1 *)
+  smp_packets : int array; (* demuxed packets per CPU *)
+  smp_lock_waits : int array; (* contended delivery-lock acquisitions per CPU *)
+  smp_lock_wait_us : int array; (* spin time per CPU *)
 }
 
 (* The cross-filter dispatch automaton ({!Pf_filter.Dispatch}), rebuilt
    lazily on first use after any acceptor-changing mutation — exactly the
-   flow cache's invalidation set, so [invalidate_cache] marks it dirty. *)
+   flow cache's invalidation set, so [invalidate_cache] marks it dirty.
+   Each CPU owns its own instance: rebuilds are private, classification
+   touches no cross-CPU state. *)
 and dispatch_state =
   | Dispatch_dirty
   | Dispatch_built of port Pf_filter.Dispatch.t
@@ -86,11 +96,11 @@ and dispatch_state =
    list is exactly what the ordered walk (or the decision tree) would have
    produced — as long as the filter set, priorities, and walk order have
    not changed since the entry was stored, which is what the invalidation
-   paths guarantee. *)
+   paths guarantee. On an SMP device there is one cache per CPU — receive
+   steering sends every packet of a flow to the same CPU, so the caches
+   shard the flow space with no cross-CPU traffic — and every invalidation
+   flushes all of them (costed as an IPI broadcast). *)
 and flow_cache = {
-  mutable enabled : bool;
-  mutable cache_capacity : int;
-  mutable key_state : key_state;
   table : (string, port list) Hashtbl.t;
   fifo : string Queue.t; (* insertion order, for capacity eviction *)
   mutable generation : int; (* bumped by every invalidation *)
@@ -106,10 +116,23 @@ and key_state =
   | Unusable (* some installed filter's read set is unbounded *)
   | Offsets of int array (* sorted union read set of the installed filters *)
 
-let create engine cpu costs stats ~variant ~address ~send =
+let fresh_cache () =
+  {
+    table = Hashtbl.create 64;
+    fifo = Queue.create ();
+    generation = 0;
+    hits = 0;
+    misses = 0;
+    bypasses = 0;
+    invalidations = 0;
+    evictions = 0;
+  }
+
+let create_smp engine smp costs stats ~variant ~address ~send =
+  let n = Smp.ncpus smp in
   {
     engine;
-    cpu;
+    smp;
     costs;
     stats;
     variant;
@@ -122,28 +145,28 @@ let create engine cpu costs stats ~variant ~address ~send =
     compile_strategy = `Off;
     certify = false;
     tree = None;
-    dispatch = Dispatch_dirty;
+    dispatch = Array.make n Dispatch_dirty;
     dispatch_rebuilds = 0;
     dispatch_classifies = 0;
     dispatch_exact_accepts = 0;
     dispatch_candidates = 0;
     dispatch_residual_runs = 0;
     cost_limit = None;
-    cache =
-      {
-        enabled = true;
-        cache_capacity = 256;
-        key_state = Dirty;
-        table = Hashtbl.create 64;
-        fifo = Queue.create ();
-        generation = 0;
-        hits = 0;
-        misses = 0;
-        bypasses = 0;
-        invalidations = 0;
-        evictions = 0;
-      };
+    cache_enabled = true;
+    cache_capacity = 256;
+    key_state = Dirty;
+    caches = Array.init n (fun _ -> fresh_cache ());
+    delivery_lock = Smp.Lock.create smp;
+    smp_packets = Array.make n 0;
+    smp_lock_waits = Array.make n 0;
+    smp_lock_wait_us = Array.make n 0;
   }
+
+let create engine cpu costs stats ~variant ~address ~send =
+  create_smp engine (Smp.of_cpus engine costs [| cpu |]) costs stats ~variant ~address ~send
+
+let ncpus t = Smp.ncpus t.smp
+let smp t = t.smp
 
 module For_testing = struct
   (* When set, [install]/[set_filter] leave the flow cache alone — the
@@ -151,20 +174,44 @@ module For_testing = struct
      prove the cold/warm/disabled demux oracle catches stale entries; never
      set it outside tests. *)
   let skip_install_invalidation = ref false
+
+  (* When set, invalidations flush only the mutating CPU's flow cache and
+     skip the IPI broadcast — the SMP variant of the same bug: a kernel
+     that forgot the other CPUs exist. Remote caches keep answering from
+     entries stored under the old filter set. The differential suite flips
+     this to prove the oracle catches stale remote decisions. *)
+  let skip_remote_invalidation = ref false
 end
 
-let invalidate_cache t =
+let invalidate_cache ?(cpu = 0) t =
   (* The dispatch automaton is sound under exactly the invariants the flow
      cache is, so the two share one invalidation set. *)
-  t.dispatch <- Dispatch_dirty;
-  let c = t.cache in
-  c.key_state <- Dirty;
-  c.generation <- c.generation + 1;
-  if Hashtbl.length c.table > 0 then begin
-    Hashtbl.reset c.table;
-    Queue.clear c.fifo
+  let flush_one k =
+    t.dispatch.(k) <- Dispatch_dirty;
+    let c = t.caches.(k) in
+    c.generation <- c.generation + 1;
+    if Hashtbl.length c.table > 0 then begin
+      Hashtbl.reset c.table;
+      Queue.clear c.fifo
+    end;
+    c.invalidations <- c.invalidations + 1
+  in
+  if !For_testing.skip_remote_invalidation then flush_one cpu
+  else begin
+    t.key_state <- Dirty;
+    for k = 0 to Smp.ncpus t.smp - 1 do
+      flush_one k
+    done;
+    (* Remote caches are flushed by a costed interprocessor broadcast: the
+       mutating CPU pays one ipi_send per peer, each peer one ipi_receive.
+       (The flush itself is done synchronously above — the simulation's
+       demux events are already serialized by the engine, so no packet can
+       race the shootdown; only the cost is modeled.) *)
+    if Smp.ncpus t.smp > 1 then begin
+      Stats.incr ~by:(Smp.ncpus t.smp - 1) t.stats "pf.smp.ipi";
+      Smp.ipi_broadcast t.smp ~src:cpu (fun _ -> ())
+    end
   end;
-  c.invalidations <- c.invalidations + 1;
   Stats.incr t.stats "pf.cache.invalidation"
 
 (* Stable order: decreasing priority, then open order — maintained at
@@ -186,7 +233,7 @@ let reprioritize t port priority =
   port.priority <- priority;
   insert_port t port
 
-let maybe_reorder t =
+let maybe_reorder ?cpu t =
   t.demuxed_since_reorder <- t.demuxed_since_reorder + 1;
   if t.demuxed_since_reorder >= 256 then begin
     t.demuxed_since_reorder <- 0;
@@ -201,7 +248,7 @@ let maybe_reorder t =
     (* Reordering equal-priority overlapping filters can change which port
        wins a packet, so any cached decision taken under the old order is
        stale. *)
-    if List.map (fun p -> p.id) t.ports <> before then invalidate_cache t
+    if List.map (fun p -> p.id) t.ports <> before then invalidate_cache ?cpu t
   end
 
 (* Charge CPU when called from process context; plain setup code (before the
@@ -444,13 +491,13 @@ let set_signal port cb = port.signal <- cb
 (* {1 Flow-cache control and observability} *)
 
 let set_cache_enabled t flag =
-  if t.cache.enabled <> flag then begin
-    t.cache.enabled <- flag;
+  if t.cache_enabled <> flag then begin
+    t.cache_enabled <- flag;
     invalidate_cache t
   end
 
 let set_cache_capacity t n =
-  t.cache.cache_capacity <- max 1 n;
+  t.cache_capacity <- max 1 n;
   invalidate_cache t
 
 type cache_stats = {
@@ -464,17 +511,35 @@ type cache_stats = {
   evictions : int;
 }
 
+(* Aggregated over every CPU's private cache. [capacity] is per CPU;
+   [invalidations] counts flush events per cache, so at N CPUs each
+   device-level invalidation contributes N (and at one CPU this is exactly
+   the legacy count). *)
 let cache_stats t =
-  let c = t.cache in
+  let entries = ref 0
+  and hits = ref 0
+  and misses = ref 0
+  and bypasses = ref 0
+  and invalidations = ref 0
+  and evictions = ref 0 in
+  Array.iter
+    (fun c ->
+      entries := !entries + Hashtbl.length c.table;
+      hits := !hits + c.hits;
+      misses := !misses + c.misses;
+      bypasses := !bypasses + c.bypasses;
+      invalidations := !invalidations + c.invalidations;
+      evictions := !evictions + c.evictions)
+    t.caches;
   {
-    enabled = c.enabled;
-    entries = Hashtbl.length c.table;
-    capacity = c.cache_capacity;
-    hits = c.hits;
-    misses = c.misses;
-    bypasses = c.bypasses;
-    invalidations = c.invalidations;
-    evictions = c.evictions;
+    enabled = t.cache_enabled;
+    entries = !entries;
+    capacity = t.cache_capacity;
+    hits = !hits;
+    misses = !misses;
+    bypasses = !bypasses;
+    invalidations = !invalidations;
+    evictions = !evictions;
   }
 
 type dispatch_stats = {
@@ -546,8 +611,8 @@ let tree_of t =
    excluded from indexing (their multi-delivery cannot be expressed by a
    first-match winner) and fall to the rank-ordered residual walk, which
    [demux] merges with the automaton winner by rank. *)
-let dispatch_of t =
-  match t.dispatch with
+let dispatch_of t cpu =
+  match t.dispatch.(cpu) with
   | Dispatch_built d -> d
   | Dispatch_dirty ->
     let entries =
@@ -563,7 +628,7 @@ let dispatch_of t =
         ~indexable:(fun p -> (not p.copy_all) && not p.tap)
         entries
     in
-    t.dispatch <- Dispatch_built d;
+    t.dispatch.(cpu) <- Dispatch_built d;
     t.dispatch_rebuilds <- t.dispatch_rebuilds + 1;
     Stats.incr t.stats "pf.dispatch.rebuild";
     d
@@ -574,13 +639,13 @@ let dispatch_of t =
    until the next invalidation changes the filter set. *)
 let refresh_key_state t =
   let rec union acc = function
-    | [] -> t.cache.key_state <- Offsets (Array.of_list (List.sort_uniq compare acc))
+    | [] -> t.key_state <- Offsets (Array.of_list (List.sort_uniq compare acc))
     | p :: rest -> (
       match p.analysis with
       | None -> union acc rest
       | Some a -> (
         match a.Pf_filter.Analysis.read_set with
-        | Pf_filter.Analysis.Unbounded -> t.cache.key_state <- Unusable
+        | Pf_filter.Analysis.Unbounded -> t.key_state <- Unusable
         | Pf_filter.Analysis.Exact idxs -> union (idxs @ acc) rest))
   in
   union [] t.ports
@@ -601,25 +666,112 @@ let cache_key offsets frame =
     offsets;
   Buffer.contents buf
 
-let demux t ?(kernel_claimed = false) frame =
+(* Receive-side steering: hash the packet bytes at the union read set — the
+   same bytes the flow cache keys on — to pick the receive CPU. Two packets
+   of one flow agree on every read-set word, so they always steer to the
+   same CPU, and each CPU's flow cache and dispatch automaton stay private
+   to its shard of the flow space. When the key is unusable (some installed
+   filter's read set is unbounded) or empty, everything lands on CPU 0.
+   Steering charges no CPU time: it models the NIC's receive hashing
+   hardware, not kernel work. *)
+let steer t frame =
+  let n = Smp.ncpus t.smp in
+  if n = 1 then 0
+  else begin
+    if t.key_state = Dirty then refresh_key_state t;
+    match t.key_state with
+    | Dirty -> assert false
+    | Unusable -> 0
+    | Offsets [||] -> 0
+    | Offsets offsets -> Hashtbl.hash (cache_key offsets frame) mod n
+  end
+
+type smp_cpu_stats = {
+  cpu : int;
+  packets : int;
+  cache_hits : int;
+  cache_misses : int;
+  lock_waits : int;
+  lock_wait_us : int;
+  ipis_sent : int;
+  ipis_received : int;
+  busy_us : int;
+  idle_us : int;
+}
+
+type smp_stats = {
+  ncpus : int;
+  per_cpu : smp_cpu_stats list;
+  lock_acquisitions : int;
+  lock_contended : int;
+  lock_wait_total_us : int;
+  ipis : int;
+}
+
+let smp_stats (t : t) =
+  let now = Engine.now t.engine in
+  let per_cpu =
+    List.init (Smp.ncpus t.smp) (fun k ->
+        let c = t.caches.(k) in
+        let cpu_k = Smp.cpu t.smp k in
+        {
+          cpu = k;
+          packets = t.smp_packets.(k);
+          cache_hits = c.hits;
+          cache_misses = c.misses;
+          lock_waits = t.smp_lock_waits.(k);
+          lock_wait_us = t.smp_lock_wait_us.(k);
+          ipis_sent = Smp.ipis_sent t.smp k;
+          ipis_received = Smp.ipis_received t.smp k;
+          busy_us = Cpu.busy_time cpu_k;
+          idle_us = Cpu.idle_since cpu_k ~start:0 ~now;
+        })
+  in
+  {
+    ncpus = Smp.ncpus t.smp;
+    per_cpu;
+    lock_acquisitions = Smp.Lock.acquisitions t.delivery_lock;
+    lock_contended = Smp.Lock.contended t.delivery_lock;
+    lock_wait_total_us = Smp.Lock.wait_time t.delivery_lock;
+    ipis = Smp.total_ipis t.smp;
+  }
+
+let pp_smp_cpu_stats ppf s =
+  Format.fprintf ppf
+    "cpu%d: %d packets, %d hits / %d misses, %d lock waits (%d us), %d/%d ipis sent/recv, %d us busy / %d us idle"
+    s.cpu s.packets s.cache_hits s.cache_misses s.lock_waits s.lock_wait_us
+    s.ipis_sent s.ipis_received s.busy_us s.idle_us
+
+let pp_smp_stats ppf s =
+  Format.fprintf ppf
+    "smp: %d cpus, %d lock acquisitions (%d contended, %d us spinning), %d ipis"
+    s.ncpus s.lock_acquisitions s.lock_contended s.lock_wait_total_us s.ipis;
+  List.iter (fun c -> Format.fprintf ppf "@\n  %a" pp_smp_cpu_stats c) s.per_cpu
+
+let demux t ?(cpu = 0) ?(kernel_claimed = false) frame =
   let costs = t.costs in
+  let n = Smp.ncpus t.smp in
+  if cpu < 0 || cpu >= n then invalid_arg "Pfdev.demux: no such CPU";
   Stats.incr t.stats "pf.packets";
+  t.smp_packets.(cpu) <- t.smp_packets.(cpu) + 1;
+  if n > 1 then Stats.incr t.stats (Printf.sprintf "pf.smp.cpu%d.packets" cpu);
   let arrival = Engine.now t.engine in
   let cpu_cost = ref 0 in
-  let c = t.cache in
-  (* Probe the flow cache before any filter interpretation. Kernel-claimed
-     packets bypass it: they see a different port subset (taps only), so
-     caching their decisions under the same key would be unsound. *)
+  let c = t.caches.(cpu) in
+  (* Probe this CPU's flow cache before any filter interpretation.
+     Kernel-claimed packets bypass it: they see a different port subset
+     (taps only), so caching their decisions under the same key would be
+     unsound. *)
   let probe =
-    if not c.enabled then `Off
+    if not t.cache_enabled then `Off
     else if kernel_claimed then begin
       c.bypasses <- c.bypasses + 1;
       Stats.incr t.stats "pf.cache.bypass";
       `Off
     end
     else begin
-      if c.key_state = Dirty then refresh_key_state t;
-      match c.key_state with
+      if t.key_state = Dirty then refresh_key_state t;
+      match t.key_state with
       | Dirty -> assert false
       | Unusable ->
         c.bypasses <- c.bypasses + 1;
@@ -649,7 +801,7 @@ let demux t ?(kernel_claimed = false) frame =
     | (`Miss _ | `Off) as probe ->
       (* Busier-first reordering only matters (and only makes sense) for the
          sequential strategy; the tree is keyed on guards, not position. *)
-      if t.strategy = `Sequential then maybe_reorder t;
+      if t.strategy = `Sequential then maybe_reorder ~cpu t;
       let acceptors = ref [] in
       let run_port_filter port =
         Stats.incr t.stats "pf.filters_tested";
@@ -709,7 +861,7 @@ let demux t ?(kernel_claimed = false) frame =
            once every remaining residual ranks past the winner, the winner —
            always non-copy-all — takes the packet and stops the walk, exactly
            where the sequential walk would have stopped. *)
-        let d = dispatch_of t in
+        let d = dispatch_of t cpu in
         t.dispatch_classifies <- t.dispatch_classifies + 1;
         Stats.incr t.stats "pf.dispatch.classify";
         let winner, dstats =
@@ -764,7 +916,7 @@ let demux t ?(kernel_claimed = false) frame =
         c.misses <- c.misses + 1;
         Stats.incr t.stats "pf.cache.miss";
         cpu_cost := !cpu_cost + costs.Costs.cache_probe (* insert *);
-        if Hashtbl.length c.table >= c.cache_capacity then (
+        if Hashtbl.length c.table >= t.cache_capacity then (
           match Queue.take_opt c.fifo with
           | Some victim ->
             Hashtbl.remove c.table victim;
@@ -784,10 +936,42 @@ let demux t ?(kernel_claimed = false) frame =
   else if not kernel_claimed then Stats.incr t.stats "pf.drop.nomatch";
   (* The filter interpretation and bookkeeping happen at interrupt level;
      delivery (queueing + reader wakeup) completes when that CPU work
-     retires. *)
+     retires. On an SMP device delivery mutates shared port queues, so it
+     runs under the costed delivery spinlock; classification itself touches
+     only this CPU's private cache and automaton and needs no lock. The
+     split into two interrupt-owner runs is cost-neutral on one CPU (no
+     context switch is ever charged between them), which is what keeps the
+     single-CPU SMP path byte-identical to the legacy accounting. *)
   let wake = if accepted then costs.Costs.wakeup else 0 in
-  Stats.incr ~by:(!cpu_cost + wake) t.stats "pf.demux_cpu_us";
-  let finish = Cpu.run t.cpu ~owner:`Interrupt ~start:arrival ~cost:(!cpu_cost + wake) in
+  let cpu_exec = Smp.cpu t.smp cpu in
+  let classify_done =
+    Cpu.run cpu_exec ~owner:`Interrupt ~start:arrival ~cost:!cpu_cost
+  in
+  let finish =
+    if not accepted then classify_done
+    else begin
+      let deliver_cost = ref wake in
+      if n > 1 then begin
+        (* The lock covers only the queue insert (the [lock_acquire]
+           charge); the scheduler wakeup runs after release — holding a
+           spinlock across a wakeup would serialize the whole complex. *)
+        let wait =
+          Smp.Lock.acquire t.delivery_lock ~start:classify_done ~hold:0
+        in
+        deliver_cost := !deliver_cost + wait + costs.Costs.lock_acquire;
+        Stats.incr t.stats "pf.smp.lock_acquire";
+        if wait > 0 then begin
+          t.smp_lock_waits.(cpu) <- t.smp_lock_waits.(cpu) + 1;
+          t.smp_lock_wait_us.(cpu) <- t.smp_lock_wait_us.(cpu) + wait;
+          Stats.incr t.stats "pf.smp.lock_contended";
+          Stats.incr ~by:wait t.stats "pf.smp.lock_wait_us"
+        end
+      end;
+      cpu_cost := !cpu_cost + !deliver_cost;
+      Cpu.run cpu_exec ~owner:`Interrupt ~start:classify_done ~cost:!deliver_cost
+    end
+  in
+  Stats.incr ~by:!cpu_cost t.stats "pf.demux_cpu_us";
   if accepted then
     Engine.schedule t.engine ~at:finish (fun () ->
         List.iter

@@ -25,6 +25,24 @@ val create :
   address:Pf_net.Addr.t ->
   send:(Pf_pkt.Packet.t -> unit) ->
   t
+(** Single-CPU device (wraps the CPU in a one-CPU {!Pf_sim.Smp.t});
+    cost-for-cost identical to every pre-SMP release. *)
+
+val create_smp :
+  Pf_sim.Engine.t ->
+  Pf_sim.Smp.t ->
+  Pf_sim.Costs.t ->
+  Pf_sim.Stats.t ->
+  variant:Pf_net.Frame.variant ->
+  address:Pf_net.Addr.t ->
+  send:(Pf_pkt.Packet.t -> unit) ->
+  t
+(** Device on an SMP complex: one private flow cache and dispatch automaton
+    per CPU, a costed spinlock around shared-queue delivery, and costed IPI
+    broadcasts on every invalidation — all inert at one CPU. *)
+
+val ncpus : t -> int
+val smp : t -> Pf_sim.Smp.t
 
 (** {1 Port lifecycle and control (the open/close/ioctl surface)} *)
 
@@ -207,11 +225,16 @@ val select : ?timeout:Pf_sim.Time.t -> port list -> port list
 
 (** {1 Kernel interface} *)
 
-val demux : t -> ?kernel_claimed:bool -> Pf_pkt.Packet.t -> bool
+val demux : t -> ?cpu:int -> ?kernel_claimed:bool -> Pf_pkt.Packet.t -> bool
 (** Apply the filters (figure 4-1) and queue on accepting ports; to be called
     at interrupt level by the host after charging device-driver costs.
     [kernel_claimed] marks packets consumed by kernel-resident protocols:
     only tap ports see those. Returns whether any port accepted.
+
+    [cpu] (default 0) is the CPU the interrupt runs on — normally the one
+    {!steer} picked. Classification uses that CPU's private flow cache and
+    dispatch automaton; delivery to the shared port queues takes the costed
+    delivery spinlock when the device has more than one CPU.
 
     A demultiplexing {e flow cache} fronts the filter walk: decisions are
     memoized in a bounded table keyed on the packet bytes at the union
@@ -268,6 +291,45 @@ val dispatch_stats : t -> dispatch_stats
 
 val pp_dispatch_stats : Format.formatter -> dispatch_stats -> unit
 
+(** {1 SMP: receive steering and per-CPU observability} *)
+
+val steer : t -> Pf_pkt.Packet.t -> int
+(** The receive CPU for a frame: a hash of the packet bytes at the union
+    read set of the installed filters — the flow-cache key — modulo the CPU
+    count, so every packet of one flow lands on the same CPU. Returns 0 on
+    a single-CPU device, when the read set is unbounded, or when no filter
+    constrains any word. Free of simulated cost (NIC hashing hardware); the
+    host wires this into {!Pf_net.Nic.set_rss}. *)
+
+type smp_cpu_stats = {
+  cpu : int;
+  packets : int;  (** frames demultiplexed on this CPU *)
+  cache_hits : int;  (** this CPU's private flow cache *)
+  cache_misses : int;
+  lock_waits : int;  (** contended delivery-lock acquisitions *)
+  lock_wait_us : int;  (** virtual time spent spinning *)
+  ipis_sent : int;
+  ipis_received : int;
+  busy_us : int;
+  idle_us : int;
+}
+
+type smp_stats = {
+  ncpus : int;
+  per_cpu : smp_cpu_stats list;  (** ascending CPU id *)
+  lock_acquisitions : int;  (** delivery lock, all CPUs *)
+  lock_contended : int;
+  lock_wait_total_us : int;
+  ipis : int;  (** total interprocessor interrupts (invalidation broadcasts) *)
+}
+
+val smp_stats : t -> smp_stats
+(** Per-CPU counters (also mirrored as ["pf.smp.*"] device stats when the
+    device has more than one CPU). Meaningful but degenerate on a
+    single-CPU device: one row, no locks, no IPIs. *)
+
+val pp_smp_stats : Format.formatter -> smp_stats -> unit
+
 (** {1 Status (section 3.3)} *)
 
 type status = {
@@ -301,4 +363,12 @@ module For_testing : sig
       "forgot to invalidate" kernel bug. The differential suite flips this
       to prove the cold/warm/disabled demux oracle catches stale entries;
       never set it outside tests. *)
+
+  val skip_remote_invalidation : bool ref
+  (** When set, invalidations flush only the mutating CPU's flow cache and
+      skip the IPI broadcast — the SMP variant of the same bug: a kernel
+      that forgot the other CPUs exist, leaving remote caches answering
+      from entries stored under the old filter set. Flipped by the
+      differential suite to prove the oracle catches stale remote
+      decisions; never set it outside tests. *)
 end

@@ -14,6 +14,17 @@ val set_rx : t -> (Pf_pkt.Packet.t -> unit) -> unit
 (** Replaces the receive handler (frames arriving before one is installed
     are counted as dropped). *)
 
+val set_rss : t -> hash:(Pf_pkt.Packet.t -> int) -> rx:(queue:int -> Pf_pkt.Packet.t -> unit) -> unit
+(** Receive-side steering: the NIC hashes each arriving frame ([hash] runs
+    in the receive hardware, free of simulated cost) to pick a receive
+    queue, then hands the frame to [rx] with that queue. Once installed,
+    steering takes precedence over the single-queue {!set_rx} handler.
+    The kernel maps queues to CPUs one-to-one. *)
+
+val queue_frames : t -> int array
+(** Frames steered per receive queue so far ([[||]] when RSS is not
+    configured). *)
+
 val set_promiscuous : t -> bool -> unit
 (** Receive every frame on the segment, for network monitoring (§5.4). *)
 

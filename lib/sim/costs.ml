@@ -21,6 +21,10 @@ type t = {
   dispatch_hash_word : Time.t;
   regvm_apply : Time.t;
   regvm_insn : Time.t;
+  lock_acquire : Time.t;
+  ipi_send : Time.t;
+  ipi_receive : Time.t;
+  ipi_latency : Time.t;
 }
 
 let microvax_ii =
@@ -47,6 +51,10 @@ let microvax_ii =
     dispatch_hash_word = 3;
     regvm_apply = 30;
     regvm_insn = 18;
+    lock_acquire = 15;
+    ipi_send = 60;
+    ipi_receive = 150;
+    ipi_latency = 20;
   }
 
 let scale f t =
@@ -74,6 +82,10 @@ let scale f t =
     dispatch_hash_word = s t.dispatch_hash_word;
     regvm_apply = s t.regvm_apply;
     regvm_insn = s t.regvm_insn;
+    lock_acquire = s t.lock_acquire;
+    ipi_send = s t.ipi_send;
+    ipi_receive = s t.ipi_receive;
+    ipi_latency = s t.ipi_latency;
   }
 
 let vax_780 = { microvax_ii with timestamp = 70 }

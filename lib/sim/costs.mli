@@ -61,6 +61,22 @@ type t = {
           stack-pointer traffic and operand shuffling each stack step pays,
           consistent with the register-vs-stack gap the BPF lineage
           measured *)
+  lock_acquire : Time.t;
+      (** uncontended acquire + release of a kernel spinlock: a pair of
+          interlocked bus operations plus bookkeeping, ≈ half a {!syscall}
+          crossing's instruction count on the same calibration. Contended
+          acquisitions additionally spin for the remaining hold time
+          ({!Smp.Lock}) *)
+  ipi_send : Time.t;
+      (** posting an interprocessor interrupt from the sending CPU: write
+          the mailbox, strobe the doorbell register *)
+  ipi_receive : Time.t;
+      (** fielding an interprocessor interrupt on the target CPU: interrupt
+          entry, handler dispatch, exit — calibrated as a cheap interrupt,
+          a fraction of {!recv_interrupt}'s device work *)
+  ipi_latency : Time.t;
+      (** bus propagation delay between doorbell strobe and the target CPU
+          taking the interrupt *)
 }
 
 val microvax_ii : t

@@ -1,0 +1,105 @@
+(* An SMP complex: N serializing CPUs sharing one discrete-event engine,
+   plus the two cross-CPU cost primitives multiprocessor kernels pay for —
+   spinlocks and interprocessor interrupts.
+
+   Determinism: the engine already orders same-time events by scheduling
+   sequence number, so every cross-CPU interaction here (IPI broadcasts,
+   per-CPU work retiring at the same instant) is made deterministic by
+   always iterating CPUs in ascending id order when scheduling — the
+   (time, cpu id, seq) order is then exactly the (time, seq) order the
+   engine enforces. *)
+
+type t = {
+  engine : Engine.t;
+  costs : Costs.t;
+  cpus : Cpu.t array;
+  ipis_sent : int array; (* per source CPU *)
+  ipis_received : int array; (* per target CPU *)
+}
+
+let of_cpus engine costs cpus =
+  if Array.length cpus = 0 then invalid_arg "Smp.of_cpus: no CPUs";
+  {
+    engine;
+    costs;
+    cpus;
+    ipis_sent = Array.make (Array.length cpus) 0;
+    ipis_received = Array.make (Array.length cpus) 0;
+  }
+
+let create ?(ncpus = 1) engine costs =
+  if ncpus < 1 then invalid_arg "Smp.create: ncpus must be at least 1";
+  of_cpus engine costs (Array.init ncpus (fun _ -> Cpu.create costs))
+
+let ncpus t = Array.length t.cpus
+let costs t = t.costs
+let engine t = t.engine
+
+let cpu t i =
+  if i < 0 || i >= Array.length t.cpus then invalid_arg "Smp.cpu: no such CPU";
+  t.cpus.(i)
+
+let ipis_sent t i = t.ipis_sent.(i)
+let ipis_received t i = t.ipis_received.(i)
+let total_ipis t = Array.fold_left ( + ) 0 t.ipis_sent
+
+(* Post an interprocessor interrupt: the sender pays [ipi_send] in its own
+   (interrupt) context right now, the doorbell propagates for [ipi_latency],
+   then the target CPU fields a [ipi_receive]-long interrupt and [k] runs
+   when that work retires. *)
+let ipi t ~src ~dst k =
+  if src = dst then invalid_arg "Smp.ipi: src = dst";
+  let send_done =
+    Cpu.run t.cpus.(src) ~owner:`Interrupt ~start:(Engine.now t.engine)
+      ~cost:t.costs.Costs.ipi_send
+  in
+  t.ipis_sent.(src) <- t.ipis_sent.(src) + 1;
+  Engine.schedule t.engine ~at:(send_done + t.costs.Costs.ipi_latency) (fun () ->
+      let finish =
+        Cpu.run t.cpus.(dst) ~owner:`Interrupt ~start:(Engine.now t.engine)
+          ~cost:t.costs.Costs.ipi_receive
+      in
+      t.ipis_received.(dst) <- t.ipis_received.(dst) + 1;
+      Engine.schedule t.engine ~at:finish k)
+
+(* Every CPU except [src], ascending id (the deterministic broadcast
+   order); [k] runs once per target as its receive interrupt retires. *)
+let ipi_broadcast t ~src k =
+  Array.iteri (fun dst _ -> if dst <> src then ipi t ~src ~dst (fun () -> k dst)) t.cpus
+
+module Lock = struct
+  (* A costed spinlock. The simulation itself is single-threaded, so the
+     lock never protects anything for real — it models the time a CPU
+     spends spinning when another CPU holds the word, in virtual time:
+     acquiring at [start] while the lock is held until [h] costs
+     [h - start] of busy-wait plus the uncontended [lock_acquire] charge,
+     and the lock is then held for [lock_acquire + hold]. Callers charge
+     the returned wait (plus [lock_acquire] and their critical section) to
+     their own CPU, which is exactly what a spinning processor burns. *)
+  type nonrec lock = {
+    smp : t;
+    mutable held_until : Time.t;
+    mutable acquisitions : int;
+    mutable contended : int;
+    mutable wait_time : Time.t;
+  }
+
+  let create smp = { smp; held_until = 0; acquisitions = 0; contended = 0; wait_time = 0 }
+
+  let acquire l ~start ~hold =
+    let granted = max start l.held_until in
+    let wait = granted - start in
+    if wait > 0 then begin
+      l.contended <- l.contended + 1;
+      l.wait_time <- l.wait_time + wait
+    end;
+    l.acquisitions <- l.acquisitions + 1;
+    l.held_until <- granted + l.smp.costs.Costs.lock_acquire + hold;
+    wait
+
+  let acquisitions l = l.acquisitions
+  let contended l = l.contended
+  let wait_time l = l.wait_time
+end
+
+type lock = Lock.lock

@@ -206,6 +206,61 @@ let test_stale_cache_mutant_caught_and_shrunk () =
     Alcotest.(check bool) "repro command present" true
       (Testutil.contains f.Runner.repro "pffuzz --seed")
 
+(* {1 The seeded stale-REMOTE-cache mutant}
+
+   The SMP variant of the same kernel bug: on a 2-CPU device, a filter
+   change invalidates the installing CPU's flow cache but "forgets" the
+   invalidation IPI to the other CPU (Pfdev.For_testing.
+   skip_remote_invalidation). CPU 1's private cache still holds
+   accept_all's verdict under the old cache key, so the next packet
+   demultiplexed on CPU 1 answers stale — the oracle must flag it on any
+   packet the real filter rejects, and the shrinker must reduce the
+   evidence. *)
+
+let mutant_stale_remote_cache (v : Validate.t) packet =
+  let module Pfdev = Pf_kernel.Pfdev in
+  let eng = Pf_sim.Engine.create () in
+  let costs = Pf_sim.Costs.free in
+  let smp = Pf_sim.Smp.create ~ncpus:2 eng costs in
+  let dev =
+    Pfdev.create_smp eng smp costs (Pf_sim.Stats.create ())
+      ~variant:Pf_net.Frame.Exp3 ~address:(Pf_net.Addr.exp 1)
+      ~send:(fun _ -> ())
+  in
+  let port = Pfdev.open_port dev in
+  (match Pfdev.set_filter port Predicates.accept_all with
+  | Ok () -> ()
+  | Error _ -> assert false);
+  ignore (Pfdev.demux dev ~cpu:1 packet : bool);
+  (* The mutation happens "on CPU 0": its own cache is flushed, the
+     cross-CPU invalidation broadcast is skipped. *)
+  Pfdev.For_testing.skip_remote_invalidation := true;
+  let swapped = Pfdev.set_filter port (Validate.program v) in
+  Pfdev.For_testing.skip_remote_invalidation := false;
+  (match swapped with Ok () -> () | Error _ -> assert false);
+  Pfdev.demux dev ~cpu:1 packet
+
+let test_stale_remote_cache_mutant_caught_and_shrunk () =
+  let extra = [ ("stale-remote-cache", mutant_stale_remote_cache) ] in
+  let stats = Runner.run ~extra ~max_failures:1 ~seed:0x5CA1E ~iters:2_000 () in
+  match stats.Runner.failures with
+  | [] -> Alcotest.fail "the oracle missed a skipped cross-CPU cache invalidation"
+  | f :: _ ->
+    Alcotest.(check bool) "stale remote cache is the culprit" true
+      (List.exists
+         (fun (m : Oracle.mismatch) -> m.Oracle.engine = "stale-remote-cache")
+         f.Runner.mismatches);
+    Alcotest.(check bool) "shrunk case still disagrees" true
+      (List.exists
+         (fun (m : Oracle.mismatch) -> m.Oracle.engine = "stale-remote-cache")
+         f.Runner.shrunk_mismatches);
+    Alcotest.(check bool)
+      (Format.asprintf "reproducer is <= 5 insns, got:@.%a" Program.pp f.Runner.shrunk_program)
+      true
+      (Program.insn_count f.Runner.shrunk_program <= 5);
+    Alcotest.(check bool) "repro command present" true
+      (Testutil.contains f.Runner.repro "pffuzz --seed")
+
 (* {1 Pinned regression: the out-of-range literal divergence}
 
    Found by construction while building the oracle: Interp masks every push
@@ -286,6 +341,8 @@ let suite =
         test_mutant_caught_and_shrunk;
       Alcotest.test_case "seeded stale-cache mutant caught and shrunk" `Quick
         test_stale_cache_mutant_caught_and_shrunk;
+      Alcotest.test_case "seeded stale-remote-cache mutant caught and shrunk" `Quick
+        test_stale_remote_cache_mutant_caught_and_shrunk;
       Alcotest.test_case "out-of-range literal regression" `Quick
         test_literal_masking_regression;
       Alcotest.test_case "peephole report arithmetic (corpus)" `Quick

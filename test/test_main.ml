@@ -24,4 +24,5 @@ let () =
       Test_symex.suite;
       Test_dispatch.suite;
       Test_firewall.suite;
+      Test_smp.suite;
     ]
