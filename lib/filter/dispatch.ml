@@ -75,7 +75,7 @@ let build ?(indexable = fun _ -> true) filters =
   (* Same-slot subsumption, Analysis.relate first, the symbolic engine
      (memoized, small budget) where it answers Unknown. Equiv.relate only
      ever upgrades to Equivalent/Disjoint, both sound here. *)
-  let memo = Equiv.Relate_memo.create () in
+  let memo = Equiv.Memo.create () in
   let relate va vb = Equiv.relate_memo ~budget:64 ~pair_budget:256 memo va vb in
   let groups : (int list, (int list * 'a entry list ref) list ref) Hashtbl.t =
     Hashtbl.create 16

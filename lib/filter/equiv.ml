@@ -21,42 +21,13 @@ type report = {
 let default_budget = Symex.default_budget
 let default_pair_budget = 4096
 
-(* Concrete IR execution, mirroring [Regvm.run_counted]. Duplicated here
-   (rather than calling Regvm) because Regvm's compiler depends on Regopt,
-   which uses this module for certification. *)
-let exec_ir (ir : Ir.t) packet =
-  let words = Packet.word_count packet in
-  let regs = Array.make (max 1 ir.Ir.reg_count) 0 in
-  let value = function Ir.Reg r -> regs.(r) | Ir.Imm v -> v in
-  let exception Done of bool in
-  try
-    Array.iter
-      (fun instr ->
-        match instr with
-        | Ir.Load { dst; word } ->
-            if word >= words then raise (Done false);
-            regs.(dst) <- Packet.word packet word
-        | Ir.Loadind { dst; idx } ->
-            let i = value idx in
-            if i >= words then raise (Done false);
-            regs.(dst) <- Packet.word packet i
-        | Ir.Binop { dst; op; a; b } ->
-            let r = Op.apply_int op ~t2:(value a) ~t1:(value b) in
-            if r >= 0 then regs.(dst) <- r else raise (Done false)
-        | Ir.Tcond { cond; a; b; verdict } ->
-            let eq = value a = value b in
-            let fires = match cond with Ir.Ceq -> eq | Ir.Cne -> not eq in
-            if fires then raise (Done verdict))
-      ir.Ir.instrs;
-    (match ir.Ir.terminator with
-    | Ir.Halt v -> v
-    | Ir.Accept_if o -> value o <> 0)
-  with Done v -> v
-
+(* Concrete IR execution lives in [Ir.exec] (mirroring [Regvm.run_counted];
+   Regvm itself cannot be called here because its compiler depends on
+   Regopt, which uses this module for certification). *)
 let run_side side packet =
   match side with
   | Prog v -> Interp.accepts ~semantics:`Paper (Validate.program v) packet
-  | Ir_prog ir -> exec_ir ir packet
+  | Ir_prog ir -> Ir.exec ir packet
 
 let symex ctx budget = function
   | Prog v -> Symex.run ~budget ctx v
@@ -181,15 +152,33 @@ let relate ?(budget = default_budget) ?(pair_budget = default_pair_budget) va
       | Counterexample _ | Unknown -> Analysis.Unknown
   end
 
-module Relate_memo = struct
-  type t = (int list * int list * int * int, Analysis.relation) Hashtbl.t
+(* One memo table for every symbolic-equivalence verdict: relations (the
+   dispatch automaton and the firewall lint) and full check reports (the
+   superoptimizer, which re-proposes structurally identical candidates all
+   the time). Keys are the encoded sides plus the budgets, so one table can
+   serve callers with different budgets without confusing their answers;
+   sides are tagged so a stack program and an IR program with colliding
+   encodings stay distinct. *)
+module Memo = struct
+  type t = {
+    relations : (int list * int list * int * int, Analysis.relation) Hashtbl.t;
+    checks : (int list * int list * int * int, report) Hashtbl.t;
+    mutable check_hits : int;
+  }
 
-  let create () : t = Hashtbl.create 16
-  let size : t -> int = Hashtbl.length
+  let create () =
+    { relations = Hashtbl.create 16; checks = Hashtbl.create 64; check_hits = 0 }
+
+  let size t = Hashtbl.length t.relations + Hashtbl.length t.checks
+  let check_hits t = t.check_hits
 end
 
+let encode_side = function
+  | Prog v -> 0 :: Program.encode (Validate.program v)
+  | Ir_prog ir -> 1 :: Ir.encode ir
+
 let relate_memo ?(budget = default_budget)
-    ?(pair_budget = default_pair_budget) (memo : Relate_memo.t) va vb =
+    ?(pair_budget = default_pair_budget) (memo : Memo.t) va vb =
   match Analysis.relate va vb with
   | Analysis.Unknown -> (
       let key =
@@ -198,13 +187,25 @@ let relate_memo ?(budget = default_budget)
           budget,
           pair_budget )
       in
-      match Hashtbl.find_opt memo key with
+      match Hashtbl.find_opt memo.Memo.relations key with
       | Some r -> r
       | None ->
           let r = relate ~budget ~pair_budget va vb in
-          Hashtbl.add memo key r;
+          Hashtbl.add memo.Memo.relations key r;
           r)
   | r -> r
+
+let check_memo ?(budget = default_budget)
+    ?(pair_budget = default_pair_budget) (memo : Memo.t) left right =
+  let key = (encode_side left, encode_side right, budget, pair_budget) in
+  match Hashtbl.find_opt memo.Memo.checks key with
+  | Some r ->
+      memo.Memo.check_hits <- memo.Memo.check_hits + 1;
+      r
+  | None ->
+      let r = check ~budget ~pair_budget left right in
+      Hashtbl.add memo.Memo.checks key r;
+      r
 
 type certification =
   | Certified

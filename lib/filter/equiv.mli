@@ -70,26 +70,36 @@ val relate :
     {!check_programs} proves equality, [Unknown] otherwise. Never returns
     [Subsumes]/[Subsumed_by]. *)
 
-(** Memo table for {!relate_memo}, shared by the dispatch automaton and the
-    firewall rule lint so repeated pairs (the same guard programs recur
-    across groups and tables) are related once. Keys are the encoded wire
-    programs plus the budgets, so one table can serve callers with
-    different budgets without confusing their answers. *)
-module Relate_memo : sig
+(** Memo table for every symbolic-equivalence verdict, shared by the
+    dispatch automaton, the firewall rule lint ({!relate_memo}) and the
+    superoptimizer ({!check_memo} — MCMC search re-proposes structurally
+    identical candidates constantly). Keys are the encoded sides
+    ({!Program.encode} / {!Ir.encode}, tagged) plus the budgets, so one
+    table can serve callers with different budgets without confusing
+    their answers. *)
+module Memo : sig
   type t
 
   val create : unit -> t
+
   val size : t -> int
-  (** Number of symbolically-related pairs cached (cheap
+  (** Number of cached verdicts, relations plus check reports (cheap
       {!Analysis.relate} hits are not stored). *)
+
+  val check_hits : t -> int
+  (** Times {!check_memo} answered from the table instead of re-proving. *)
 end
 
 val relate_memo :
-  ?budget:int -> ?pair_budget:int -> Relate_memo.t -> Validate.t ->
+  ?budget:int -> ?pair_budget:int -> Memo.t -> Validate.t ->
   Validate.t -> Analysis.relation
 (** {!Analysis.relate} first (interval reasoning, never cached — it is
     cheaper than the lookup); where it answers [Unknown], fall back to the
     symbolic {!relate} through the memo table. *)
+
+val check_memo : ?budget:int -> ?pair_budget:int -> Memo.t -> side -> side -> report
+(** {!check} through the memo table: the full report (verdict, path
+    counts, reasons) is cached by hash-consed candidate identity. *)
 
 (** Outcome of certifying one optimizer rewrite, shared by
     {!Peephole.optimize_certified}, {!Regopt.optimize_certified} and

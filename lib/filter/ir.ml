@@ -100,6 +100,59 @@ let lower_with_map validated =
 let lower validated = fst (lower_with_map validated)
 let instr_count t = Array.length t.instrs
 
+(* Injective flat encoding, for memo keys and byte-identity tests. Operands
+   are tagged (registers negative-shifted away from immediates), instructions
+   by a leading opcode, so distinct IR never collides. *)
+let encode t =
+  let operand = function Reg r -> [ 0; r ] | Imm v -> [ 1; v ] in
+  let instr = function
+    | Load { dst; word } -> [ 2; dst; word ]
+    | Loadind { dst; idx } -> (3 :: dst :: operand idx)
+    | Binop { dst; op; a; b } -> (4 :: dst :: Op.code op :: (operand a @ operand b))
+    | Tcond { cond; a; b; verdict } ->
+      (5 :: (match cond with Ceq -> 0 | Cne -> 1)
+      :: (if verdict then 1 else 0) :: (operand a @ operand b))
+  in
+  let terminator =
+    match t.terminator with
+    | Halt v -> [ 6; (if v then 1 else 0) ]
+    | Accept_if o -> 7 :: operand o
+  in
+  t.reg_count :: List.concat (Array.to_list (Array.map instr t.instrs)) @ terminator
+
+(* Concrete execution, mirroring [Regvm.run_counted]'s semantics: an
+   out-of-bounds load, an indirect load beyond the packet, and a division
+   by zero all reject at that instruction; the terminator is free. Shared
+   by Equiv (witness confirmation) and Superopt (candidate screening). *)
+let exec t packet =
+  let words = Pf_pkt.Packet.word_count packet in
+  let regs = Array.make (max 1 t.reg_count) 0 in
+  let value = function Reg r -> regs.(r) | Imm v -> v in
+  let exception Done of bool in
+  try
+    Array.iter
+      (fun instr ->
+        match instr with
+        | Load { dst; word } ->
+            if word >= words then raise (Done false);
+            regs.(dst) <- Pf_pkt.Packet.word packet word
+        | Loadind { dst; idx } ->
+            let i = value idx in
+            if i >= words then raise (Done false);
+            regs.(dst) <- Pf_pkt.Packet.word packet i
+        | Binop { dst; op; a; b } ->
+            let r = Op.apply_int op ~t2:(value a) ~t1:(value b) in
+            if r >= 0 then regs.(dst) <- r else raise (Done false)
+        | Tcond { cond; a; b; verdict } ->
+            let eq = value a = value b in
+            let fires = match cond with Ceq -> eq | Cne -> not eq in
+            if fires then raise (Done verdict))
+      t.instrs;
+    (match t.terminator with
+    | Halt v -> v
+    | Accept_if o -> value o <> 0)
+  with Done v -> v
+
 let load_count t =
   Array.fold_left
     (fun acc i ->

@@ -69,6 +69,18 @@ val lower_with_map : Validate.t -> t * int array
 
 val instr_count : t -> int
 
+val encode : t -> int list
+(** Injective flat encoding of the whole program (register count,
+    instructions, terminator) — the IR analogue of {!Program.encode}, used
+    as a memo key by {!Equiv.Memo} and for byte-identity assertions in the
+    superoptimizer's determinism tests. *)
+
+val exec : t -> Pf_pkt.Packet.t -> bool
+(** Concrete execution with {!Regvm} fault semantics: out-of-bounds loads
+    and division by zero reject at that instruction. The single executor
+    shared by {!Equiv} (witness confirmation) and {!Superopt} (candidate
+    screening). *)
+
 val load_count : t -> int
 (** Number of packet-load instructions ([Load] + [Loadind]) — what common
     subexpression elimination minimizes. *)

@@ -65,3 +65,22 @@ val synthetic : length:int -> accept:bool -> Program.t
 (** A filter of exactly [length] instructions (for table 6-10's sweep):
     [length]-1 no-ops followed by a constant verdict; [length] = 0 gives the
     empty (accept-all) program regardless of [accept]. *)
+
+(** {1 Naive "blender" variants}
+
+    The same predicates compiled with {!Expr.compile}[~short_circuit:false]:
+    every term evaluated and glued with plain [AND], the figure 3-8 style —
+    the systematic win class for {!Superopt}, which rediscovers the early
+    exits with an equivalence proof. *)
+
+val naive_udp_dst_port : ?priority:int -> int -> Program.t
+val naive_pup_dst_port : ?priority:int -> host:int -> int32 -> Program.t
+val naive_pup_dst_port_10mb : ?priority:int -> host:int -> int32 -> Program.t
+val naive_vmtp_dst_entity : ?priority:int -> int32 -> Program.t
+val naive_rarp_reply_for : ?priority:int -> string -> Program.t
+
+val builtins : (string * Program.t) list
+(** The named builtin corpus: the paper's figures, every filter the example
+    protocol implementations install, and the naive blender variants — what
+    [pftool lint/ir/dispatch --builtin] check in CI and the bench gates
+    sweep. *)

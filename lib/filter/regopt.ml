@@ -531,7 +531,7 @@ let raise_program validated =
       then fallback
       else (candidate, report))
 
-let optimize_certified ?budget validated =
+let optimize_certified_base ?budget validated =
   let ir, report = optimize validated in
   match Equiv.certification_of_report (Equiv.check_ir ?budget validated ir) with
   | Equiv.Certified -> ((ir, report), Equiv.Certified)
@@ -540,6 +540,34 @@ let optimize_certified ?budget validated =
        whose shape Regvm executes just as well. *)
     ((Ir.lower validated, { report with fell_back = true }), Equiv.Refuted w)
   | Equiv.Uncertified _ as u -> ((ir, report), u)
+
+let optimize_superopt ?equiv_budget ?budget ?seed ?memo validated =
+  let (ir, report), certification = optimize_certified_base ?budget:equiv_budget validated in
+  (* The search runs on whatever the certified pipeline shipped — on a
+     refuted pipeline that is the plain lowering, which certifies
+     trivially, so the chain's incumbent is always a verified program. *)
+  let outcome = Superopt.search ?budget ?seed ?memo ir in
+  let best = outcome.Superopt.best in
+  let report =
+    { report with
+      optimized_instrs = Ir.instr_count best;
+      loads_after = Ir.load_count best;
+      passes =
+        report.passes
+        @ [ ("superopt", outcome.Superopt.initial_cost - outcome.Superopt.best_cost) ];
+    }
+  in
+  ((best, report), certification, outcome)
+
+let optimize_certified ?budget ?superopt ?seed ?memo validated =
+  match superopt with
+  | None -> optimize_certified_base ?budget validated
+  | Some search_budget ->
+    let irrep, certification, _ =
+      optimize_superopt ?equiv_budget:budget ~budget:search_budget ?seed ?memo
+        validated
+    in
+    (irrep, certification)
 
 let raise_program_certified ?budget validated =
   let raised, report = raise_program validated in

@@ -75,12 +75,28 @@ val raise_program : Validate.t -> Program.t * report
     and keeps the [`Paper] verdict on every packet. *)
 
 val optimize_certified :
-  ?budget:int -> Validate.t -> (Ir.t * report) * Equiv.certification
+  ?budget:int -> ?superopt:int -> ?seed:int -> ?memo:Equiv.Memo.t ->
+  Validate.t -> (Ir.t * report) * Equiv.certification
 (** [optimize] under translation validation: the optimized IR is checked
     against the source program with {!Equiv.check_ir}. On {!Equiv.Refuted}
     the unoptimized lowering ({!Ir.lower}, with [fell_back] set) is
     returned alongside the witness packet; [Uncertified] keeps the
-    optimized IR and says why the check fell short (e.g. path budget). *)
+    optimized IR and says why the check fell short (e.g. path budget).
+
+    [~superopt:n] additionally runs the stochastic superoptimizer
+    ({!Superopt.search}, [n] proposals, optionally [?seed]/[?memo]) on the
+    certified result; the search only moves through candidates proved
+    equal to its incumbent, so the certification outcome is unchanged. A
+    ["superopt"] entry (static cycles saved) is appended to the report's
+    passes. *)
+
+val optimize_superopt :
+  ?equiv_budget:int -> ?budget:int -> ?seed:int -> ?memo:Equiv.Memo.t ->
+  Validate.t -> (Ir.t * report) * Equiv.certification * Superopt.outcome
+(** [optimize_certified ~superopt] with the full search {!Superopt.outcome}
+    (stats, refuted candidates) exposed — what [pftool superopt] and the
+    [`Regvm_super] install path report from. [equiv_budget] bounds the
+    pipeline certification; [budget] is the search's proposal count. *)
 
 val raise_program_certified :
   ?budget:int -> Validate.t -> (Program.t * report) * Equiv.certification

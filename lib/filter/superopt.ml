@@ -1,0 +1,554 @@
+module Packet = Pf_pkt.Packet
+
+(* SplitMix64, private copy (pf_filter cannot depend on pf_fuzz). All
+   randomness in the search flows through this, so a (seed, budget) pair
+   names one exact search on every platform. *)
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let make seed = { state = Int64.of_int seed }
+
+  let next t =
+    t.state <- Int64.add t.state 0x9e3779b97f4a7c15L;
+    let z = t.state in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  (* Uniform in [0, n); n must be positive. Modulo bias is irrelevant here
+     (choices are tiny against 2^63). *)
+  let int t n = Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
+  let choose t l = List.nth l (int t (List.length l))
+end
+
+type stats = {
+  budget : int;
+  seed : int;
+  proposals : int;
+  malformed : int;
+  screened : int;
+  equiv_checks : int;
+  memo_hits : int;
+  proved : int;
+  accepted : int;
+  refuted : int;
+  unknown : int;
+  rejected : int;
+}
+
+type refuted_candidate = {
+  candidate : Ir.t;
+  witness : Packet.t;
+  incumbent_verdict : bool;
+  candidate_verdict : bool;
+}
+
+type outcome = {
+  initial : Ir.t;
+  best : Ir.t;
+  initial_cost : int;
+  best_cost : int;
+  stats : stats;
+  refuted : refuted_candidate list;
+}
+
+let default_budget = 500
+let default_seed = 0x5eed
+
+(* {1 Cost}
+
+   [Analysis.insn_cost] transliterated onto the IR: fetch/dispatch cycle +
+   the action's cost for loads (Pushword 2, Pushind 3) + the operator's
+   cost for ALU work. The terminator is free, like [Regvm.run_counted]'s
+   charging. *)
+
+let instr_cost = function
+  | Ir.Load _ -> 3
+  | Ir.Loadind _ -> 4
+  | Ir.Binop { op; _ } ->
+    1 + (match op with Op.Mul -> 3 | Op.Div | Op.Mod -> 6 | _ -> 1)
+  | Ir.Tcond _ -> 2
+
+let cost (ir : Ir.t) = Array.fold_left (fun acc i -> acc + instr_cost i) 0 ir.Ir.instrs
+
+(* Cost first, encoded length (the code-words stand-in) as tiebreak. *)
+let score ir = (cost ir, List.length (Ir.encode ir))
+
+(* {1 Well-formedness}
+
+   [Symex.run_ir] shares one register environment across its depth-first
+   path forks, which is only sound for single-assignment code — so no
+   candidate reaches the prover unless every register is defined at most
+   once, strictly before each use. *)
+
+let well_formed (ir : Ir.t) =
+  let n = ir.Ir.reg_count in
+  let defined = Array.make (max 1 n) false in
+  let ok = ref true in
+  let operand = function
+    | Ir.Reg r -> if r < 0 || r >= n || not defined.(r) then ok := false
+    | Ir.Imm v -> if v < 0 || v > 0xffff then ok := false
+  in
+  Array.iter
+    (fun instr ->
+      (match instr with
+      | Ir.Load { word; _ } -> if word < 0 || word > 0xffff then ok := false
+      | Ir.Loadind { idx; _ } -> operand idx
+      | Ir.Binop { op; a; b; _ } ->
+        if op = Op.Nop || Op.is_short_circuit op then ok := false;
+        operand a;
+        operand b
+      | Ir.Tcond { a; b; _ } ->
+        operand a;
+        operand b);
+      match instr with
+      | Ir.Load { dst; _ } | Ir.Loadind { dst; _ } | Ir.Binop { dst; _ } ->
+        if dst < 0 || dst >= n || defined.(dst) then ok := false
+        else defined.(dst) <- true
+      | Ir.Tcond _ -> ())
+    ir.Ir.instrs;
+  (match ir.Ir.terminator with Ir.Accept_if o -> operand o | Ir.Halt _ -> ());
+  !ok
+
+(* {1 Pools} *)
+
+let sort_uniq_cap cap l =
+  let l = List.sort_uniq compare l in
+  List.filteri (fun i _ -> i < cap) l
+
+(* Immediates appearing anywhere in the program, a few universal constants,
+   and small perturbations of each — the alphabet substitution draws from. *)
+let constant_pool (ir : Ir.t) =
+  let imms = ref [] in
+  let operand = function Ir.Imm v -> imms := v :: !imms | Ir.Reg _ -> () in
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Ir.Load _ -> ()
+      | Ir.Loadind { idx; _ } -> operand idx
+      | Ir.Binop { a; b; _ } | Ir.Tcond { a; b; _ } ->
+        operand a;
+        operand b)
+    ir.Ir.instrs;
+  (match ir.Ir.terminator with Ir.Accept_if o -> operand o | Ir.Halt _ -> ());
+  let derived =
+    List.concat_map
+      (fun c -> [ (c - 1) land 0xffff; (c + 1) land 0xffff; c lsr 8; c land 0xff ])
+      !imms
+  in
+  sort_uniq_cap 24 (0 :: 1 :: 2 :: 0xff :: 0xffff :: (!imms @ derived))
+
+let word_pool (ir : Ir.t) =
+  let words = ref [] in
+  Array.iter
+    (fun instr ->
+      match instr with Ir.Load { word; _ } -> words := word :: !words | _ -> ())
+    ir.Ir.instrs;
+  match !words with [] -> [ 0 ] | ws -> sort_uniq_cap 16 ws
+
+(* Registers defined strictly before instruction [i]. *)
+let regs_before (ir : Ir.t) i =
+  let rec go j acc =
+    if j >= i then List.rev acc
+    else
+      go (j + 1)
+        (match ir.Ir.instrs.(j) with
+        | Ir.Load { dst; _ } | Ir.Loadind { dst; _ } | Ir.Binop { dst; _ } -> dst :: acc
+        | Ir.Tcond _ -> acc)
+  in
+  go 0 []
+
+let subst_operand ~from ~to_ o = if o = from then to_ else o
+
+(* Replace every use of register [r] (in instructions [>= from] and the
+   terminator) with operand [rep]. *)
+let rewire (ir : Ir.t) ~from ~r ~rep =
+  let sub = subst_operand ~from:(Ir.Reg r) ~to_:rep in
+  let instrs =
+    Array.mapi
+      (fun i instr ->
+        if i < from then instr
+        else
+          match instr with
+          | Ir.Load _ -> instr
+          | Ir.Loadind { dst; idx } -> Ir.Loadind { dst; idx = sub idx }
+          | Ir.Binop { dst; op; a; b } -> Ir.Binop { dst; op; a = sub a; b = sub b }
+          | Ir.Tcond { cond; a; b; verdict } ->
+            Ir.Tcond { cond; a = sub a; b = sub b; verdict })
+      ir.Ir.instrs
+  in
+  let terminator =
+    match ir.Ir.terminator with
+    | Ir.Accept_if o -> Ir.Accept_if (sub o)
+    | Ir.Halt _ as h -> h
+  in
+  { ir with Ir.instrs; terminator }
+
+let remove (ir : Ir.t) i =
+  let instrs =
+    Array.of_list
+      (List.filteri (fun j _ -> j <> i) (Array.to_list ir.Ir.instrs))
+  in
+  { ir with Ir.instrs }
+
+let replace (ir : Ir.t) i instr =
+  let instrs = Array.copy ir.Ir.instrs in
+  instrs.(i) <- instr;
+  { ir with Ir.instrs }
+
+(* Binops substitution may propose; Nop and the short-circuit operators are
+   control flow, Mul/Div/Mod only make things costlier. *)
+let safe_ops =
+  [ Op.Eq; Op.Neq; Op.Lt; Op.Le; Op.Gt; Op.Ge; Op.And; Op.Or; Op.Xor; Op.Add;
+    Op.Sub; Op.Lsh; Op.Rsh ]
+
+(* {1 Mutations} *)
+
+let random_operand rng ~regs ~pool =
+  if regs <> [] && Rng.int rng 2 = 0 then Ir.Reg (Rng.choose rng regs)
+  else Ir.Imm (Rng.choose rng pool)
+
+(* Operand / immediate / opcode perturbation at one position. *)
+let mutate_subst rng ~pool ~words (ir : Ir.t) =
+  let n = Array.length ir.Ir.instrs in
+  (* position n is the terminator *)
+  let i = Rng.int rng (n + 1) in
+  if i = n then
+    match ir.Ir.terminator with
+    | Ir.Halt _ -> ir
+    | Ir.Accept_if _ ->
+      let regs = regs_before ir n in
+      { ir with Ir.terminator = Ir.Accept_if (random_operand rng ~regs ~pool) }
+  else
+    let regs = regs_before ir i in
+    let operand = random_operand rng ~regs ~pool in
+    match ir.Ir.instrs.(i) with
+    | Ir.Load { dst; _ } -> replace ir i (Ir.Load { dst; word = Rng.choose rng words })
+    | Ir.Loadind { dst; _ } -> replace ir i (Ir.Loadind { dst; idx = operand })
+    | Ir.Binop { dst; op; a; b } ->
+      replace ir i
+        (match Rng.int rng 3 with
+        | 0 -> Ir.Binop { dst; op; a = operand; b }
+        | 1 -> Ir.Binop { dst; op; a; b = operand }
+        | _ -> Ir.Binop { dst; op = Rng.choose rng safe_ops; a; b })
+    | Ir.Tcond { cond; a; b; verdict } ->
+      replace ir i
+        (match Rng.int rng 4 with
+        | 0 -> Ir.Tcond { cond; a = operand; b; verdict }
+        | 1 -> Ir.Tcond { cond; a; b = operand; verdict }
+        | 2 ->
+          Ir.Tcond
+            { cond = (match cond with Ir.Ceq -> Ir.Cne | Ir.Cne -> Ir.Ceq); a; b;
+              verdict }
+        | _ -> Ir.Tcond { cond; a; b; verdict = not verdict })
+
+(* Deletion; a deleted definition's uses are rewired to one of its own
+   operands (copy/identity propagation — how the [r := 1 and x] glue left
+   behind by tcondification disappears) or to a pool constant. *)
+let mutate_delete rng ~pool (ir : Ir.t) =
+  let n = Array.length ir.Ir.instrs in
+  if n = 0 then ir
+  else
+    let i = Rng.int rng n in
+    match ir.Ir.instrs.(i) with
+    | Ir.Tcond _ -> remove ir i
+    | Ir.Load { dst; _ } | Ir.Loadind { dst; _ } ->
+      remove (rewire ir ~from:i ~r:dst ~rep:(Ir.Imm (Rng.choose rng pool))) i
+    | Ir.Binop { dst; a; b; _ } ->
+      let rep =
+        match Rng.int rng 3 with 0 -> a | 1 -> b | _ -> Ir.Imm (Rng.choose rng pool)
+      in
+      remove (rewire ir ~from:i ~r:dst ~rep) i
+
+let uses_reg r instr =
+  let op = function Ir.Reg r' -> r' = r | Ir.Imm _ -> false in
+  match instr with
+  | Ir.Load _ -> false
+  | Ir.Loadind { idx; _ } -> op idx
+  | Ir.Binop { a; b; _ } | Ir.Tcond { a; b; _ } -> op a || op b
+
+(* Adjacent reordering where dataflow permits (the later instruction must
+   not consume the earlier one's result; semantics across Tcond exits is
+   the prover's problem, not ours). *)
+let mutate_swap rng (ir : Ir.t) =
+  let n = Array.length ir.Ir.instrs in
+  if n < 2 then ir
+  else
+    let i = Rng.int rng (n - 1) in
+    let a = ir.Ir.instrs.(i) and b = ir.Ir.instrs.(i + 1) in
+    let blocked =
+      match a with
+      | Ir.Load { dst; _ } | Ir.Loadind { dst; _ } | Ir.Binop { dst; _ } ->
+        uses_reg dst b
+      | Ir.Tcond _ -> false
+    in
+    if blocked then ir
+    else begin
+      let instrs = Array.copy ir.Ir.instrs in
+      instrs.(i) <- b;
+      instrs.(i + 1) <- a;
+      { ir with Ir.instrs }
+    end
+
+(* The structural move that turns figure 3-8 "blender" code into figure 3-9
+   early exits: a materialized equality test becomes a compare-and-terminate
+   side exit, and every later use of its result sees the constant the
+   surviving path implies. Sound only when the program's verdict on the
+   terminated path really is the chosen one — which is exactly what the
+   equivalence proof decides. *)
+let mutate_tcondify rng (ir : Ir.t) =
+  let eqs = ref [] in
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Ir.Binop { op = Op.Eq | Op.Neq; _ } -> eqs := i :: !eqs
+      | _ -> ())
+    ir.Ir.instrs;
+  match !eqs with
+  | [] -> ir
+  | eqs ->
+    let i = Rng.choose rng (List.rev eqs) in
+    (match ir.Ir.instrs.(i) with
+    | Ir.Binop { dst; op; a; b } ->
+      let conjunction = Rng.int rng 2 = 0 in
+      (* Conjunction form: exit with reject when the test fails, so the
+         fall-through value is 1 (or 0 for Neq-in-conjunction... the
+         polarity table below covers all four cases). *)
+      let cond, verdict, fallthrough =
+        match (op, conjunction) with
+        | Op.Eq, true -> (Ir.Cne, false, 1)
+        | Op.Eq, false -> (Ir.Ceq, true, 0)
+        | Op.Neq, true -> (Ir.Ceq, false, 1)
+        | Op.Neq, false -> (Ir.Cne, true, 0)
+        | _ -> assert false
+      in
+      let ir = replace ir i (Ir.Tcond { cond; a; b; verdict }) in
+      rewire ir ~from:(i + 1) ~r:dst ~rep:(Ir.Imm fallthrough)
+    | _ -> ir)
+
+(* Small-window peephole synthesis: erase a 2-3 instruction window and
+   generate fresh code for it. Registers the window defined that are still
+   consumed downstream must be redefined (exactly once) or the candidate
+   dies in [well_formed]; extra slots become side exits. *)
+let mutate_window rng ~pool ~words (ir : Ir.t) =
+  let n = Array.length ir.Ir.instrs in
+  if n < 2 then ir
+  else begin
+    let size = min n (2 + Rng.int rng 2) in
+    let start = Rng.int rng (n - size + 1) in
+    let window_dsts = ref [] in
+    for j = start to start + size - 1 do
+      match ir.Ir.instrs.(j) with
+      | Ir.Load { dst; _ } | Ir.Loadind { dst; _ } | Ir.Binop { dst; _ } ->
+        window_dsts := dst :: !window_dsts
+      | Ir.Tcond _ -> ()
+    done;
+    let used_after r =
+      let used = ref false in
+      for j = start + size to n - 1 do
+        if uses_reg r ir.Ir.instrs.(j) then used := true
+      done;
+      (match ir.Ir.terminator with
+      | Ir.Accept_if (Ir.Reg r') when r' = r -> used := true
+      | _ -> ());
+      !used
+    in
+    let escaping = List.filter used_after (List.rev !window_dsts) in
+    let avail = ref (regs_before ir start) in
+    let fresh_def rng dst =
+      let operand () = random_operand rng ~regs:!avail ~pool in
+      let instr =
+        match Rng.int rng 3 with
+        | 0 -> Ir.Load { dst; word = Rng.choose rng words }
+        | 1 -> Ir.Binop { dst; op = Rng.choose rng safe_ops; a = operand (); b = operand () }
+        | _ -> Ir.Binop { dst; op = Op.Eq; a = operand (); b = Ir.Imm (Rng.choose rng pool) }
+      in
+      avail := dst :: !avail;
+      instr
+    in
+    let defs = List.map (fresh_def rng) escaping in
+    let extra =
+      List.init
+        (Rng.int rng 2)
+        (fun _ ->
+          let operand () = random_operand rng ~regs:!avail ~pool in
+          Ir.Tcond
+            { cond = (if Rng.int rng 2 = 0 then Ir.Ceq else Ir.Cne);
+              a = operand (); b = operand ();
+              verdict = Rng.int rng 2 = 0 })
+    in
+    let before = Array.to_list (Array.sub ir.Ir.instrs 0 start) in
+    let after =
+      Array.to_list (Array.sub ir.Ir.instrs (start + size) (n - start - size))
+    in
+    { ir with Ir.instrs = Array.of_list (before @ defs @ extra @ after) }
+  end
+
+let mutate rng ~pool ~words ir =
+  match Rng.int rng 8 with
+  | 0 | 1 -> mutate_subst rng ~pool ~words ir
+  | 2 | 3 -> mutate_delete rng ~pool ir
+  | 4 -> mutate_swap rng ir
+  | 5 | 6 -> mutate_tcondify rng ir
+  | _ -> mutate_window rng ~pool ~words ir
+
+(* {1 Screening}
+
+   A concrete suite derived from the incumbent's own structure: a packet
+   satisfying every [word = const] guard the dataflow can see, one
+   perturbation per (load word, interesting constant) pair, every
+   truncation (bounds-fault paths), and the extremes. Counterexamples the
+   prover returns join the suite (CEGIS), so a refuted shape is never
+   proposed past screening again. *)
+
+let screening_suite (ir : Ir.t) =
+  let n_regs = max 1 ir.Ir.reg_count in
+  (* reg -> the packet word (possibly masked) it holds, by forward scan *)
+  let src = Array.make n_regs None in
+  let pref : (int * int) list ref = ref [] in
+  (* word, preferred value *)
+  let note_cmp a b =
+    match (a, b) with
+    | (Ir.Reg r, Ir.Imm v) | (Ir.Imm v, Ir.Reg r) -> (
+      match src.(r) with
+      | Some w when not (List.mem_assoc w !pref) -> pref := (w, v) :: !pref
+      | _ -> ())
+    | _ -> ()
+  in
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Ir.Load { dst; word } -> src.(dst) <- Some word
+      | Ir.Loadind { dst; _ } -> src.(dst) <- None
+      | Ir.Binop { dst; op = Op.And; a = Ir.Reg r; b = Ir.Imm _ }
+      | Ir.Binop { dst; op = Op.And; a = Ir.Imm _; b = Ir.Reg r } ->
+        src.(dst) <- src.(r)
+      | Ir.Binop { dst; op; a; b } ->
+        note_cmp a b;
+        ignore op;
+        src.(dst) <- None
+      | Ir.Tcond { a; b; _ } -> note_cmp a b)
+    ir.Ir.instrs;
+  let words = word_pool ir in
+  let maxw = List.fold_left max 0 (words @ List.map fst !pref) in
+  let base =
+    List.init (maxw + 1) (fun w ->
+        match List.assoc_opt w !pref with Some v -> v land 0xffff | None -> 0)
+  in
+  let with_word w v = List.mapi (fun i x -> if i = w then v else x) base in
+  let consts = sort_uniq_cap 8 (0 :: 0xffff :: List.map snd !pref) in
+  let perturbed =
+    List.concat_map (fun w -> List.map (fun c -> with_word w c) consts) words
+  in
+  let truncations =
+    List.init (maxw + 1) (fun k -> List.filteri (fun i _ -> i < k) base)
+  in
+  let packets =
+    List.map Packet.of_words
+      ((base :: perturbed) @ truncations
+      @ [ List.map (fun _ -> 0) base; List.map (fun _ -> 0xffff) base ])
+  in
+  List.map (fun p -> (p, Ir.exec ir p)) packets
+
+let screen suite cand = List.for_all (fun (p, v) -> Ir.exec cand p = v) suite
+
+(* {1 The chain} *)
+
+module For_testing = struct
+  let unsound_accept_unknown = ref false
+end
+
+(* Equiv budgets per proposal: the same caps the fuzz oracle proves under,
+   small enough that a single check stays cheap at install time. *)
+let equiv_budget = 192
+let equiv_pair_budget = 1024
+
+(* Integer-only Metropolis: downhill or equal always goes to the prover;
+   uphill by [delta] goes with probability [temp / (8 * delta)], where
+   [temp] cools linearly from 6 to 0 over the budget. No floats anywhere,
+   so acceptance is bit-deterministic. *)
+let metropolis rng ~iter ~budget delta =
+  delta <= 0
+  ||
+  let temp = 6 - (iter * 6 / max 1 budget) in
+  temp > 0 && Rng.int rng (8 * delta) < temp
+
+let search ?(budget = default_budget) ?(seed = default_seed) ?memo init =
+  let memo = match memo with Some m -> m | None -> Equiv.Memo.create () in
+  let rng = Rng.make seed in
+  let pool = constant_pool init and words = word_pool init in
+  let suite = ref (screening_suite init) in
+  let current = ref init and best = ref init in
+  let proposals = ref 0
+  and malformed = ref 0
+  and screened = ref 0
+  and equiv_checks = ref 0
+  and memo_hits = ref 0
+  and proved = ref 0
+  and accepted = ref 0
+  and refuted_n = ref 0
+  and unknown = ref 0 in
+  let refuted = ref [] in
+  for iter = 0 to budget - 1 do
+    let cand = mutate rng ~pool ~words !current in
+    incr proposals;
+    if not (well_formed cand) then incr malformed
+    else if Ir.encode cand = Ir.encode !current then ()
+    else if not (screen !suite cand) then incr screened
+    else begin
+      let delta = cost cand - cost !current in
+      if metropolis rng ~iter ~budget delta then begin
+        incr equiv_checks;
+        let hits0 = Equiv.Memo.check_hits memo in
+        let r =
+          Equiv.check_memo ~budget:equiv_budget ~pair_budget:equiv_pair_budget
+            memo (Equiv.Ir_prog !current) (Equiv.Ir_prog cand)
+        in
+        memo_hits := !memo_hits + (Equiv.Memo.check_hits memo - hits0);
+        let commit () =
+          incr accepted;
+          current := cand;
+          if score cand < score !best then best := cand
+        in
+        match r.Equiv.verdict with
+        | Equiv.Proved_equal ->
+          incr proved;
+          commit ()
+        | Equiv.Counterexample w ->
+          incr refuted_n;
+          let incumbent_verdict = Ir.exec !current w in
+          refuted :=
+            { candidate = cand; witness = w; incumbent_verdict;
+              candidate_verdict = Ir.exec cand w }
+            :: !refuted;
+          suite := (w, incumbent_verdict) :: !suite
+        | Equiv.Unknown ->
+          incr unknown;
+          if !For_testing.unsound_accept_unknown then commit ()
+      end
+    end
+  done;
+  let stats =
+    { budget; seed; proposals = !proposals; malformed = !malformed;
+      screened = !screened; equiv_checks = !equiv_checks;
+      memo_hits = !memo_hits; proved = !proved; accepted = !accepted;
+      refuted = !refuted_n; unknown = !unknown;
+      rejected = !proposals - !accepted }
+  in
+  { initial = init; best = !best; initial_cost = cost init;
+    best_cost = cost !best; stats; refuted = !refuted }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "@[<v>cost %d -> %d (%s)@,%d proposals: %d malformed, %d screened, %d \
+     equiv checks (%d memo hits), %d proved = %d accepted, %d refuted, %d \
+     unknown@]"
+    o.initial_cost o.best_cost
+    (if o.best_cost < o.initial_cost then "improved" else "unchanged")
+    o.stats.proposals o.stats.malformed o.stats.screened o.stats.equiv_checks
+    o.stats.memo_hits o.stats.proved o.stats.accepted o.stats.refuted
+    o.stats.unknown

@@ -1,0 +1,94 @@
+(** Stochastic superoptimization of register IR, verified by symbolic
+    equivalence.
+
+    The K2 recipe ("Synthesizing Safe and Efficient Kernel Extensions for
+    Packet Processing", PAPERS.md) on our own two halves: {!Regopt}'s
+    rule-based pipeline gets the easy wins, then a seeded MCMC/random-
+    rewrite search mutates the optimized IR looking for the rewrites the
+    rules cannot express — converting materialized-boolean "blender" code
+    (figure 3-8 style: every term evaluated, glued with [AND]) into
+    early-exit {!Ir.instr.Tcond} chains, deleting the glue, substituting
+    cheaper operands.
+
+    The search chain only ever moves through {e verified} programs: a
+    proposal is first screened on a concrete packet suite (derived from
+    the program's own loads and compared constants, and grown with every
+    counterexample the prover returns — a little CEGIS loop), then
+    committed only when {!Equiv.check} proves it equal to the current
+    incumbent. [Unknown] and [Counterexample] verdicts reject the
+    proposal; refuted candidates are recorded with their confirmed
+    witness, becoming free differential-fuzz fodder ({!Pf_fuzz.Oracle}
+    replays them through every engine). Verdicts are memoized by
+    hash-consed candidate identity ({!Equiv.Memo}, keyed on
+    {!Ir.encode}), so re-proposed candidates never re-prove.
+
+    Everything is a pure function of [(seed, budget)]: the inline
+    SplitMix64 generator, integer-only Metropolis acceptance, and a
+    linear cooling schedule make the search bit-identical across runs and
+    platforms — the determinism test pins byte-identical chosen programs.
+    No candidate is ever worse: the incumbent is returned unchanged when
+    the search finds nothing cheaper. *)
+
+type stats = {
+  budget : int;  (** proposals attempted (the [--budget] argument) *)
+  seed : int;
+  proposals : int;  (** mutations generated (= budget) *)
+  malformed : int;  (** killed by the SSA well-formedness check *)
+  screened : int;  (** killed by the concrete screening suite *)
+  equiv_checks : int;  (** {!Equiv.check_memo} consultations *)
+  memo_hits : int;  (** of those, answered from the memo table *)
+  proved : int;  (** [Proved_equal] verdicts — every committed move *)
+  accepted : int;  (** committed moves; invariant: [accepted = proved] *)
+  refuted : int;  (** [Counterexample] verdicts (recorded, see {!refuted_candidate}) *)
+  unknown : int;  (** [Unknown] verdicts *)
+  rejected : int;  (** proposals not committed, for any reason *)
+}
+
+(** A candidate the equivalence checker refuted, with the confirmed
+    witness: a packet on which candidate and incumbent demonstrably
+    disagree, plus both concrete verdicts at the moment of refutation.
+    The fuzz oracle replays these through every engine and asserts the
+    divergence is exactly as claimed. *)
+type refuted_candidate = {
+  candidate : Ir.t;
+  witness : Pf_pkt.Packet.t;
+  incumbent_verdict : bool;  (** the verified incumbent's verdict on [witness] *)
+  candidate_verdict : bool;  (** the refuted candidate's verdict on [witness] *)
+}
+
+type outcome = {
+  initial : Ir.t;  (** the incumbent the search started from *)
+  best : Ir.t;  (** cheapest verified program found ([initial] if none) *)
+  initial_cost : int;  (** {!cost} of [initial] *)
+  best_cost : int;  (** {!cost} of [best]; never exceeds [initial_cost] *)
+  stats : stats;
+  refuted : refuted_candidate list;  (** most recent first *)
+}
+
+val cost : Ir.t -> int
+(** Static cost of an IR program in the abstract cycles of
+    {!Analysis.insn_cost}: every instruction pays a fetch/dispatch cycle,
+    packet loads pay the word fetch, multiply and divide dominate the ALU
+    ops, the terminator is free (mirroring {!Regvm.run_counted}'s
+    charging). The proposal score is this plus an {!Ir.encode}-length
+    tiebreak standing in for code words. *)
+
+val default_budget : int
+val default_seed : int
+
+val search : ?budget:int -> ?seed:int -> ?memo:Equiv.Memo.t -> Ir.t -> outcome
+(** [search ir] runs the annealing chain from incumbent [ir]. All
+    equivalence proofs are against the chain's verified incumbent, so
+    [best] is provably equivalent to [ir] by transitivity. Pass [memo] to
+    share proof work across searches (e.g. one table per device). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** Fault-injection hooks for the differential fuzzer. *)
+module For_testing : sig
+  val unsound_accept_unknown : bool ref
+  (** When set, a proposal whose equivalence check returns [Unknown] is
+      committed {e without} proof — the intentionally unsound mutation the
+      fuzz oracle must catch (it breaks the [accepted = proved]
+      invariant and, eventually, the verdict itself). *)
+end

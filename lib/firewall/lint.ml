@@ -94,7 +94,7 @@ let analyze ?(budget = Compile.default_budget)
                  (set_expr [ e ])))
           m
       in
-      let memo = Equiv.Relate_memo.create () in
+      let memo = Equiv.Memo.create () in
       let relate i j = Equiv.relate_memo ~budget ~pair_budget memo sp.(i) sp.(j) in
       (* Pass 1: ordered pairs j < i — shadowing, and conflict candidates
          (partial overlap both ways, opposite actions, with an overlap

@@ -22,7 +22,7 @@ type port = {
   mutable regvm : Pf_filter.Regvm.t option;
       (* When set, the sequential walk runs this instead of [filter]; the
          stack compilation is kept alongside for the decision-tree path. *)
-  mutable engine_kind : [ `Stack | `Raised | `Regvm ];
+  mutable engine_kind : [ `Stack | `Raised | `Regvm | `Regvm_super ];
   mutable engine_applications : int;
   mutable engine_insns : int;
   mutable insns_source : int;
@@ -59,7 +59,7 @@ and t = {
   mutable next_id : int;
   mutable demuxed_since_reorder : int;
   mutable strategy : [ `Sequential | `Decision_tree | `Dispatch ];
-  mutable compile_strategy : [ `Off | `Raise_only | `Regvm ];
+  mutable compile_strategy : [ `Off | `Raise_only | `Regvm | `Regvm_super ];
   mutable certify : bool; (* translation-validate install-time compilation *)
   mutable tree : port Pf_filter.Decision.t option; (* cache; None = dirty *)
   dispatch : dispatch_state array; (* one private automaton per CPU *)
@@ -68,6 +68,9 @@ and t = {
   mutable dispatch_exact_accepts : int;
   mutable dispatch_candidates : int;
   mutable dispatch_residual_runs : int;
+  superopt_memo : Pf_filter.Equiv.Memo.t;
+      (* device-wide equivalence-verdict memo: [`Regvm_super] installs of
+         recurring programs (and recurring search candidates) prove once *)
   mutable cost_limit : int option; (* admission bound on a filter's cost_bound *)
   mutable cache_enabled : bool;
   mutable cache_capacity : int;
@@ -151,6 +154,7 @@ let create_smp engine smp costs stats ~variant ~address ~send =
     dispatch_exact_accepts = 0;
     dispatch_candidates = 0;
     dispatch_residual_runs = 0;
+    superopt_memo = Pf_filter.Equiv.Memo.create ();
     cost_limit = None;
     cache_enabled = true;
     cache_capacity = 256;
@@ -385,6 +389,29 @@ let install port program =
             `Regvm,
             Pf_filter.Ir.instr_count (Pf_filter.Regvm.ir rvm),
             certification ))
+      | `Regvm_super ->
+        (* The stochastic search needs a verified incumbent, so this
+           strategy always runs the certified pipeline (a refuted pipeline
+           falls back to the plain lowering inside
+           [Regopt.optimize_superopt] before the search starts — the VM
+           below is safe to run either way). The device-wide memo shares
+           proof work across installs of recurring programs. *)
+        let rvm, certification, outcome =
+          Pf_filter.Regvm.compile_super ~memo:t.superopt_memo validated
+        in
+        let st = outcome.Pf_filter.Superopt.stats in
+        Stats.incr ~by:st.Pf_filter.Superopt.accepted t.stats "pf.superopt.accepted";
+        Stats.incr ~by:st.Pf_filter.Superopt.rejected t.stats "pf.superopt.rejected";
+        Stats.incr ~by:st.Pf_filter.Superopt.refuted t.stats "pf.superopt.refuted";
+        Stats.incr ~by:st.Pf_filter.Superopt.proved t.stats "pf.superopt.proved";
+        ( Pf_filter.Fast.compile validated,
+          Some rvm,
+          `Regvm_super,
+          Pf_filter.Ir.instr_count (Pf_filter.Regvm.ir rvm),
+          (* The search cannot run without certifying its incumbent, so the
+             certification is always in hand — record it whether or not the
+             device opted into [set_certify]. *)
+          Some certification )
     in
     (match certification with
     | None -> ()
@@ -455,7 +482,7 @@ let set_certify t certify = t.certify <- certify
 let certify t = t.certify
 
 type engine_stats = {
-  engine : [ `Stack | `Raised | `Regvm ];
+  engine : [ `Stack | `Raised | `Regvm | `Regvm_super ];
   applications : int;
   insns_executed : int;
   insns_source : int;

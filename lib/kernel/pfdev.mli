@@ -115,7 +115,8 @@ val set_strategy : t -> [ `Sequential | `Decision_tree | `Dispatch ] -> unit
     Kernel-claimed packets bypass the automaton (taps-only delivery is a
     different port subset) and take the sequential walk. *)
 
-val set_compile_strategy : t -> [ `Off | `Raise_only | `Regvm ] -> unit
+val set_compile_strategy :
+  t -> [ `Off | `Raise_only | `Regvm | `Regvm_super ] -> unit
 (** How {!install} compiles filters, spending the {!Pf_filter.Regopt}
     optimizing backend:
 
@@ -131,13 +132,23 @@ val set_compile_strategy : t -> [ `Off | `Raise_only | `Regvm ] -> unit
       register-VM cost model ({!Pf_sim.Costs.t.regvm_insn}); the
       decision-tree path, which merges stack programs, keeps the stack
       compilation.
+    - [`Regvm_super]: [`Regvm] plus the stochastic superoptimizer
+      ({!Pf_filter.Superopt.search}) at install time. The search always
+      runs under translation validation — every committed rewrite is
+      proved equal to its incumbent, a refuted pipeline falls back to the
+      plain lowering {e before} the search starts — and its accounting
+      lands in the device stats (["pf.superopt.accepted"] /
+      ["rejected"] / ["refuted"] / ["proved"]; the invariant
+      [accepted = proved] holds whenever the library's fault-injection
+      hook is off). Equivalence verdicts are memoized device-wide, so
+      reinstalling a recurring program proves nothing twice.
 
     Applies to filters installed {e after} the call; already-installed
     ports keep their engine. Verdicts are engine-independent (the fuzz
-    oracle cross-checks all three), so demultiplexing decisions do not
+    oracle cross-checks all of them), so demultiplexing decisions do not
     change — only their simulated cost. *)
 
-val compile_strategy : t -> [ `Off | `Raise_only | `Regvm ]
+val compile_strategy : t -> [ `Off | `Raise_only | `Regvm | `Regvm_super ]
 
 val set_certify : t -> bool -> unit
 (** When enabled, {!install} translation-validates whatever the compile
@@ -155,16 +166,19 @@ val set_certify : t -> bool -> unit
 val certify : t -> bool
 
 type engine_stats = {
-  engine : [ `Stack | `Raised | `Regvm ];  (** how this port was compiled *)
+  engine : [ `Stack | `Raised | `Regvm | `Regvm_super ];
+      (** how this port was compiled *)
   applications : int;  (** sequential-walk applications of this filter *)
   insns_executed : int;
-      (** stack instructions (or IR instructions for [`Regvm]) executed by
-          those applications; the decision-tree path accounts globally
-          ("pf.filter_insns"), not per port *)
+      (** stack instructions (or IR instructions for [`Regvm] and
+          [`Regvm_super]) executed by those applications; the
+          decision-tree path accounts globally ("pf.filter_insns"), not
+          per port *)
   insns_source : int;  (** instructions in the program as installed *)
   insns_compiled : int;
       (** instructions actually run per worst-case application: the raised
-          program's for [`Raised], the optimized IR's for [`Regvm] *)
+          program's for [`Raised], the optimized IR's for [`Regvm] and
+          [`Regvm_super] *)
 }
 
 val port_engine_stats : port -> engine_stats option

@@ -268,13 +268,13 @@ let test_relate_memo () =
      fallback must *)
   Alcotest.(check bool) "analysis is stuck" true
     (Analysis.relate va vb = Analysis.Unknown);
-  let memo = Equiv.Relate_memo.create () in
+  let memo = Equiv.Memo.create () in
   Alcotest.(check bool) "disjoint" true
     (Equiv.relate_memo memo va vb = Analysis.Disjoint);
-  Alcotest.(check int) "memoized" 1 (Equiv.Relate_memo.size memo);
+  Alcotest.(check int) "memoized" 1 (Equiv.Memo.size memo);
   Alcotest.(check bool) "cache hit agrees" true
     (Equiv.relate_memo memo va vb = Analysis.Disjoint);
-  Alcotest.(check int) "no regrowth" 1 (Equiv.Relate_memo.size memo);
+  Alcotest.(check int) "no regrowth" 1 (Equiv.Memo.size memo);
   Alcotest.(check bool) "matches the unmemoized relate" true
     (Equiv.relate va vb = Analysis.Disjoint)
 

@@ -1,0 +1,198 @@
+(* The stochastic superoptimizer: determinism (fixed seed, fixed budget =>
+   byte-identical programs and identical statistics), the proof-gating
+   invariants (accepted = proved, never costlier, best provably equal to
+   the source), the refuted-candidate witnesses, the shared equivalence
+   memo, and the [`Regvm_super] kernel strategy's accounting. *)
+
+open Pf_filter
+module Packet = Pf_pkt.Packet
+module Pfdev = Pf_kernel.Pfdev
+module Gen = Pf_fuzz.Gen
+
+let validated program =
+  match Validate.check program with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "builtin invalid: %a" Validate.pp_error e
+
+let search_builtin ?memo ?(budget = Superopt.default_budget) program =
+  Superopt.search ?memo ~budget ~seed:Superopt.default_seed
+    (fst (Regopt.optimize (validated program)))
+
+(* {1 Determinism} *)
+
+let test_determinism () =
+  List.iter
+    (fun (name, program) ->
+      let a = search_builtin program in
+      let b = search_builtin program in
+      Alcotest.(check (list int))
+        (name ^ ": byte-identical best program")
+        (Ir.encode a.Superopt.best) (Ir.encode b.Superopt.best);
+      Alcotest.(check bool)
+        (name ^ ": identical statistics")
+        true
+        (a.Superopt.stats = b.Superopt.stats);
+      Alcotest.(check int)
+        (name ^ ": identical refuted pool")
+        (List.length a.Superopt.refuted)
+        (List.length b.Superopt.refuted))
+    Predicates.builtins
+
+(* {1 Proof gating over the builtin corpus} *)
+
+let test_never_worse_and_proved () =
+  let wins = ref 0 in
+  List.iter
+    (fun (name, program) ->
+      let v = validated program in
+      let o = search_builtin program in
+      let st = o.Superopt.stats in
+      Alcotest.(check int)
+        (name ^ ": every accepted commit carries a proof")
+        st.Superopt.proved st.Superopt.accepted;
+      Alcotest.(check bool)
+        (name ^ ": never costlier than the pipeline output")
+        true
+        (o.Superopt.best_cost <= o.Superopt.initial_cost);
+      if o.Superopt.best_cost < o.Superopt.initial_cost then incr wins;
+      (* The chain only moves through proved steps, so the final program is
+         equal to the source filter by transitivity — and the checker can
+         re-prove it directly. *)
+      let r = Equiv.check ~budget:192 ~pair_budget:1024 (Equiv.Prog v)
+          (Equiv.Ir_prog o.Superopt.best)
+      in
+      (match r.Equiv.verdict with
+      | Equiv.Counterexample w ->
+        Alcotest.failf "%s: best program refuted at %a" name Packet.pp_hex w
+      | Equiv.Proved_equal | Equiv.Unknown -> ()))
+    Predicates.builtins;
+  (* The bench gate's win class exists: fig-3-8 plus the naive blender
+     variants all strictly improve. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 5 of %d builtins improve (saw %d)"
+       (List.length Predicates.builtins) !wins)
+    true (!wins >= 5)
+
+(* {1 Refuted candidates carry separating witnesses} *)
+
+let test_refuted_witnesses_diverge () =
+  let total = ref 0 in
+  List.iter
+    (fun (name, program) ->
+      let o = search_builtin program in
+      List.iter
+        (fun (r : Superopt.refuted_candidate) ->
+          incr total;
+          let w = r.Superopt.witness in
+          Alcotest.(check bool)
+            (name ^ ": witness separates candidate from incumbent")
+            true
+            (r.Superopt.candidate_verdict <> r.Superopt.incumbent_verdict);
+          Alcotest.(check bool)
+            (name ^ ": candidate verdict replays")
+            r.Superopt.candidate_verdict
+            (Ir.exec r.Superopt.candidate w);
+          (* The incumbent is provably the source filter, so the reference
+             interpreter must reproduce its side of the divergence. *)
+          Alcotest.(check bool)
+            (name ^ ": incumbent verdict is the filter's verdict")
+            r.Superopt.incumbent_verdict
+            (Interp.accepts ~semantics:`Paper program w))
+        o.Superopt.refuted)
+    Predicates.builtins;
+  Alcotest.(check bool)
+    (Printf.sprintf "the corpus produced refuted candidates (saw %d)" !total)
+    true (!total > 0)
+
+(* {1 The shared equivalence memo} *)
+
+let test_memo_reuse () =
+  let _, program = List.nth Predicates.builtins 0 (* fig-3-8 *) in
+  let memo = Equiv.Memo.create () in
+  let a = search_builtin ~memo program in
+  let hits_after_first = Equiv.Memo.check_hits memo in
+  let b = search_builtin ~memo program in
+  Alcotest.(check (list int)) "memoized rerun finds the same program"
+    (Ir.encode a.Superopt.best) (Ir.encode b.Superopt.best);
+  Alcotest.(check bool) "rerun answers every query from the memo" true
+    (Equiv.Memo.check_hits memo - hits_after_first
+     >= b.Superopt.stats.Superopt.equiv_checks);
+  Alcotest.(check int) "memo hits surfaced in the stats"
+    (Equiv.Memo.check_hits memo - hits_after_first)
+    b.Superopt.stats.Superopt.memo_hits;
+  Alcotest.(check bool) "memo retains entries" true (Equiv.Memo.size memo > 0)
+
+(* {1 The [`Regvm_super] kernel strategy} *)
+
+let mk_dev strategy =
+  let eng = Pf_sim.Engine.create () in
+  let costs = Pf_sim.Costs.microvax_ii in
+  let cpu = Pf_sim.Cpu.create costs in
+  let stats = Pf_sim.Stats.create () in
+  let dev =
+    Pfdev.create eng cpu costs stats ~variant:Pf_net.Frame.Exp3
+      ~address:(Pf_net.Addr.exp 1)
+      ~send:(fun _ -> ())
+  in
+  Pfdev.set_compile_strategy dev strategy;
+  Pfdev.set_cache_enabled dev false;
+  (eng, stats, dev)
+
+let superopt_counters stats =
+  List.map
+    (fun k -> (k, Pf_sim.Stats.get stats ("pf.superopt." ^ k)))
+    [ "accepted"; "rejected"; "refuted"; "proved" ]
+
+let test_pfdev_regvm_super () =
+  let program = Predicates.naive_udp_dst_port 53 in
+  let rng = Gen.Rng.make 0xBEEF in
+  let packets = List.init 60 (fun _ -> fst (Gen.packet rng)) in
+  let run strategy =
+    let eng, stats, dev = mk_dev strategy in
+    let port = Pfdev.open_port dev in
+    (match Pfdev.set_filter port program with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "install: %a" Pfdev.pp_install_error e);
+    let verdicts = List.map (fun pkt -> Pfdev.demux dev pkt) packets in
+    Pf_sim.Engine.run eng;
+    (verdicts, Option.get (Pfdev.port_engine_stats port), stats)
+  in
+  let v_off, _, _ = run `Off in
+  let v_reg, s_reg, _ = run `Regvm in
+  let v_super, s_super, st_a = run `Regvm_super in
+  let _, _, st_b = run `Regvm_super in
+  Alcotest.(check (list bool)) "regvm verdicts agree" v_off v_reg;
+  Alcotest.(check (list bool)) "superopt verdicts agree" v_off v_super;
+  Alcotest.(check bool) "engine kind" true (s_super.Pfdev.engine = `Regvm_super);
+  (* The search strictly improved this naive blender filter, and the
+     per-executed-instruction charging sees it. *)
+  Alcotest.(check bool) "superopt executes fewer IR steps" true
+    (s_super.Pfdev.insns_executed < s_reg.Pfdev.insns_executed);
+  (* Install-time accounting: the invariant and install-to-install
+     determinism (fresh devices, same filter => identical counters). *)
+  Alcotest.(check int) "pf.superopt.accepted = pf.superopt.proved"
+    (Pf_sim.Stats.get st_a "pf.superopt.proved")
+    (Pf_sim.Stats.get st_a "pf.superopt.accepted");
+  Alcotest.(check bool) "search did commit improvements" true
+    (Pf_sim.Stats.get st_a "pf.superopt.accepted" > 0);
+  Alcotest.(check
+              (list (pair string int)))
+    "identical counters across fresh installs" (superopt_counters st_a)
+    (superopt_counters st_b);
+  (* The strategy always certifies its installs. *)
+  Alcotest.(check bool) "install certified" true
+    (Pf_sim.Stats.get st_a "pf.certify.proved" > 0
+     || Pf_sim.Stats.get st_a "pf.certify.unknown" > 0)
+
+let suite =
+  ( "superopt",
+    [ Alcotest.test_case "fixed seed, fixed output (corpus)" `Quick
+        test_determinism;
+      Alcotest.test_case "never worse, accepted = proved (corpus)" `Quick
+        test_never_worse_and_proved;
+      Alcotest.test_case "refuted candidates diverge at their witness" `Quick
+        test_refuted_witnesses_diverge;
+      Alcotest.test_case "shared equivalence memo" `Quick test_memo_reuse;
+      Alcotest.test_case "pfdev `Regvm_super strategy" `Quick
+        test_pfdev_regvm_super
+    ] )
