@@ -38,13 +38,24 @@ type result = {
   throughput_pps : float;
   stats : (string * int) list; (* full counter set, for the parity gate *)
   smp : Pfdev.smp_stats;
+  san_reports : int; (* 0 unless the run had a sanitizer attached *)
 }
 
 (* [ncpus = None] is the legacy single-CPU host (plain receive handler, no
-   steering); [Some n] takes the SMP/steering path even at n = 1. *)
-let run_one ~ncpus ~skew =
+   steering); [Some n] takes the SMP/steering path even at n = 1.
+   [san] attaches the Pfsan checker, whose instrumented accesses charge
+   [Costs.san_access] each — the modeled overhead the --san gate bounds. *)
+let run_one ?(san = false) ~ncpus ~skew () =
   let world = dix_world ~costs_a:Pf_sim.Costs.free ?ncpus_b:ncpus () in
   let pf = Host.pf world.b in
+  let checker =
+    if san then begin
+      let c = Pf_sim.San.create ~ncpus:(Host.ncpus world.b) () in
+      Host.attach_san world.b c;
+      Some c
+    end
+    else None
+  in
   let gen = Gen.make ~seed ~flows:n_flows ~skew () in
   (* Descending open order: the hottest flows (lowest indices) land at the
      end of the sequential walk, the uncached worst case. *)
@@ -81,6 +92,10 @@ let run_one ~ncpus ~skew =
     throughput_pps = float_of_int n_packets *. 1e6 /. float_of_int makespan;
     stats = Stats.pairs (Host.stats world.b);
     smp = Pfdev.smp_stats pf;
+    san_reports =
+      (match checker with
+      | Some c -> Pf_sim.San.report_count c
+      | None -> 0);
   }
 
 let skew_name = function
@@ -94,8 +109,8 @@ let run () =
   let gate fmt = Printf.ksprintf (fun s -> gates := s :: !gates) fmt in
 
   (* The accounting-parity gate: the 1-CPU SMP path vs the legacy host. *)
-  let legacy = run_one ~ncpus:None ~skew:Gen.Uniform in
-  let smp1 = run_one ~ncpus:(Some 1) ~skew:Gen.Uniform in
+  let legacy = run_one ~ncpus:None ~skew:Gen.Uniform () in
+  let smp1 = run_one ~ncpus:(Some 1) ~skew:Gen.Uniform () in
   if legacy.stats <> smp1.stats || legacy.makespan_us <> smp1.makespan_us then begin
     let tbl pairs = List.to_seq pairs |> Hashtbl.of_seq in
     let a = tbl legacy.stats and b = tbl smp1.stats in
@@ -119,7 +134,7 @@ let run () =
   let curves =
     List.map
       (fun skew ->
-        let rows = List.map (fun n -> (n, run_one ~ncpus:(Some n) ~skew)) cpu_counts in
+        let rows = List.map (fun n -> (n, run_one ~ncpus:(Some n) ~skew ())) cpu_counts in
         List.iter
           (fun (n, r) ->
             let m = Printf.sprintf "smp_%s_c%d" (skew_name skew) n in
@@ -149,6 +164,34 @@ let run () =
     | _ -> ()
   in
   monotone (List.map (fun (n, r) -> (n, r.throughput_pps)) uniform_rows);
+
+  (* The sanitizer gates: the same uniform 4-CPU run with Pfsan attached
+     must stay silent (zero reports on the clean kernel at full load) and
+     its instrumented-access cost must not inflate the makespan by more
+     than 15%. *)
+  let base4 = List.assoc 4 uniform_rows in
+  let san4 = run_one ~san:true ~ncpus:(Some 4) ~skew:Gen.Uniform () in
+  if san4.san_reports > 0 then
+    gate "sanitizer reported %d violation(s) on the clean kernel at 4 CPUs"
+      san4.san_reports;
+  let san_overhead_pct =
+    100.
+    *. float_of_int (san4.makespan_us - base4.makespan_us)
+    /. float_of_int base4.makespan_us
+  in
+  record_metric "smp_san_reports" (float_of_int san4.san_reports);
+  record_metric "smp_san_overhead_pct" san_overhead_pct;
+  record_metric "smp_san_makespan_us" (float_of_int san4.makespan_us);
+  if san_overhead_pct > 15. then
+    gate "sanitizer overhead %.1f%% of the 4-CPU makespan; budget is 15%%"
+      san_overhead_pct;
+  if san_overhead_pct < 0. then
+    gate "sanitizer made the 4-CPU run faster (%.1f%%): accounting is wrong"
+      san_overhead_pct;
+  Printf.printf
+    "sanitizer: 4-CPU uniform makespan %d us -> %d us with Pfsan attached \
+     (%.1f%% overhead, %d reports)\n\n"
+    base4.makespan_us san4.makespan_us san_overhead_pct san4.san_reports;
 
   List.iter
     (fun (skew, rows) ->

@@ -16,6 +16,7 @@ module Runner = Pf_fuzz.Runner
 module Gen = Pf_fuzz.Gen
 module Oracle = Pf_fuzz.Oracle
 module Fwcase = Pf_fuzz.Fwcase
+module Sancase = Pf_fuzz.Sancase
 
 let replay ~seed ~index =
   let case, outcome = Runner.run_case ~seed ~index () in
@@ -75,12 +76,70 @@ let fw_campaign ~seed ~iters ~seconds ~max_failures ~quiet =
   Format.printf "%.1fs, %.0f cases/s@." dt (float_of_int stats.Fwcase.cases /. dt);
   if stats.Fwcase.failures = [] then 0 else 1
 
-let main firewall seed iters index seconds max_failures quiet =
-  match (firewall, index) with
-  | false, Some index -> replay ~seed ~index
-  | false, None -> campaign ~seed ~iters ~seconds ~max_failures ~quiet
-  | true, Some index -> fw_replay ~seed ~index
-  | true, None -> fw_campaign ~seed ~iters ~seconds ~max_failures ~quiet
+(* The sanitizer campaign (--san): whole SMP receive scenarios with Pfsan
+   attached, no differential oracle — the report list is the verdict.
+   Clean kernel must stay silent; with --mutant, exit 1 means "caught". *)
+let san_replay ~mutant ~seed ~index =
+  let case = Sancase.case ~seed ~index in
+  let reports = Sancase.run_scenario ?mutant case in
+  Format.printf "@[<v>san case %d of seed %d%s: ncpus=%d flows=%d packets=%d@,"
+    index seed
+    (match mutant with
+    | Some m -> Printf.sprintf " (mutant %s)" (Sancase.mutant_name m)
+    | None -> "")
+    case.Sancase.ncpus case.Sancase.flows case.Sancase.packets;
+  (match reports with
+  | [] -> Format.printf "no sanitizer reports@]@."
+  | rs ->
+      List.iter (fun r -> Format.printf "%a@," Pf_sim.San.pp_report r) rs;
+      Format.printf "%d report(s)@]@." (List.length rs));
+  if reports = [] then 0 else 1
+
+let san_campaign ~mutant ~seed ~iters ~seconds ~max_failures ~quiet =
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) seconds in
+  let should_stop =
+    match deadline with
+    | None -> fun () -> false
+    | Some d -> fun () -> Unix.gettimeofday () >= d
+  in
+  let iters = match seconds with Some _ -> max_int | None -> iters in
+  let progress i =
+    if (not quiet) && i mod 20 = 0 then Printf.eprintf "pffuzz: %d cases...\r%!" i
+  in
+  let t0 = Unix.gettimeofday () in
+  let stats =
+    Sancase.run ~max_failures ~should_stop ~progress ?mutant ~seed ~iters ()
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  if not quiet then Printf.eprintf "\n%!";
+  Format.printf "%a@." Sancase.pp_stats stats;
+  Format.printf "%.1fs, %.1f cases/s@." dt (float_of_int stats.Sancase.cases /. dt);
+  if stats.Sancase.failures = [] then 0 else 1
+
+let main firewall san mutant seed iters index seconds max_failures quiet =
+  let mutant =
+    match mutant with
+    | None -> None
+    | Some name -> (
+        match Sancase.mutant_of_string name with
+        | Some m -> Some m
+        | None ->
+            Printf.eprintf "pffuzz: unknown mutant %S (expected one of: %s)\n"
+              name
+              (String.concat ", "
+                 (List.map Sancase.mutant_name Sancase.all_mutants));
+            exit 2)
+  in
+  if san then
+    match index with
+    | Some index -> san_replay ~mutant ~seed ~index
+    | None -> san_campaign ~mutant ~seed ~iters ~seconds ~max_failures ~quiet
+  else
+    match (firewall, index) with
+    | false, Some index -> replay ~seed ~index
+    | false, None -> campaign ~seed ~iters ~seconds ~max_failures ~quiet
+    | true, Some index -> fw_replay ~seed ~index
+    | true, None -> fw_campaign ~seed ~iters ~seconds ~max_failures ~quiet
 
 let cmd =
   let firewall =
@@ -89,6 +148,21 @@ let cmd =
              ~doc:"Fuzz the firewall rule-table frontend instead of raw \
                    programs: random tables + packets, reference semantics \
                    vs every compiled engine.")
+  in
+  let san =
+    Arg.(value & flag
+         & info [ "san" ]
+             ~doc:"Fuzz with the concurrency sanitizer as the oracle: seeded \
+                   SMP receive scenarios, zero Pfsan reports expected on the \
+                   clean kernel.")
+  in
+  let mutant =
+    Arg.(value & opt (some string) None
+         & info [ "mutant" ] ~docv:"NAME"
+             ~doc:"With $(b,--san): enable a seeded concurrency mutant \
+                   (skip-remote-invalidation, skip-install-invalidation, \
+                   skip-delivery-lock); the campaign then expects the \
+                   sanitizer to catch and shrink it.")
   in
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
@@ -112,6 +186,7 @@ let cmd =
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress output.") in
   Cmd.v
     (Cmd.info "pffuzz" ~doc:"Differential fuzzer: one oracle over every packet-filter engine")
-    Term.(const main $ firewall $ seed $ iters $ index $ seconds $ max_failures $ quiet)
+    Term.(const main $ firewall $ san $ mutant $ seed $ iters $ index $ seconds
+          $ max_failures $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -82,7 +82,7 @@ let report ~quiet ~flows variant trace =
     Format.printf "@.%a@." Pf_monitor.Flows.report
       (Pf_monitor.Flows.of_trace variant trace)
 
-let run filter_file expr duration_ms seed quiet write_file read_file flows =
+let run filter_file expr duration_ms seed quiet write_file read_file flows san =
   match read_file with
   | Some path -> (
     (* Offline analysis of a saved capture — the workstation-tools story. *)
@@ -114,6 +114,17 @@ let run filter_file expr duration_ms seed quiet write_file read_file flows =
     let engine = Engine.create () in
     let link = Pf_net.Link.create engine Pf_net.Frame.Dix10 ~rate_mbit:10. () in
     let watcher = Host.create link ~name:"watcher" ~addr:(Addr.eth_host 99) in
+    let checker =
+      if san then begin
+        let c =
+          Pf_sim.San.create ~stats:(Host.stats watcher)
+            ~ncpus:(Host.ncpus watcher) ()
+        in
+        Host.attach_san watcher c;
+        Some c
+      end
+      else None
+    in
     let capture = Pf_monitor.Capture.start ~filter watcher in
     build_traffic engine link ~seed ~duration_ms;
     Engine.run ~until:(duration_ms * 1000) engine;
@@ -126,6 +137,9 @@ let run filter_file expr duration_ms seed quiet write_file read_file flows =
       (Pf_kernel.Pfdev.cache_stats (Host.pf watcher));
     Format.printf "pfmon: %a@.@." Pf_kernel.Pfdev.pp_smp_stats
       (Pf_kernel.Pfdev.smp_stats (Host.pf watcher));
+    (match checker with
+    | Some c -> Format.printf "pfmon: %a@.@." Pf_sim.San.pp c
+    | None -> ());
     (match write_file with
     | Some path ->
       Pf_monitor.Tracefile.write_file path Pf_net.Frame.Dix10 trace;
@@ -159,8 +173,15 @@ let cmd =
   let flows =
     Arg.(value & flag & info [ "F"; "flows" ] ~doc:"Also print per-conversation flow analysis.")
   in
+  let san =
+    Arg.(value & flag
+         & info [ "san" ]
+             ~doc:"Attach the Pfsan concurrency sanitizer to the watcher's \
+                   kernel and print its pf.san.* summary after the run.")
+  in
   Cmd.v
     (Cmd.info "pfmon" ~doc:"Monitor a (simulated) busy Ethernet through the packet filter")
-    Term.(const run $ filter $ expr $ duration $ seed $ quiet $ write_file $ read_file $ flows)
+    Term.(const run $ filter $ expr $ duration $ seed $ quiet $ write_file $ read_file $ flows
+          $ san)
 
 let () = exit (Cmd.eval cmd)

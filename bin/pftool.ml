@@ -806,6 +806,110 @@ let verify_cmd =
 
 (* {1 SMP steering} *)
 
+module Khost = Pf_kernel.Host
+module Kdev = Pf_kernel.Pfdev
+module San = Pf_sim.San
+module Tgen = Pf_monitor.Traffic.Gen
+
+(* One JSON shape for the per-CPU counter block, shared by [pftool smp
+   --json] and [pftool san --json] — same keys, same deterministic order,
+   golden-tested once. *)
+let smp_stats_fields (s : Kdev.smp_stats) =
+  [ ("per_cpu",
+     json_arr
+       (List.map
+          (fun (c : Kdev.smp_cpu_stats) ->
+            json_obj
+              [ ("cpu", string_of_int c.Kdev.cpu);
+                ("packets", string_of_int c.Kdev.packets);
+                ("cache_hits", string_of_int c.Kdev.cache_hits);
+                ("cache_misses", string_of_int c.Kdev.cache_misses);
+                ("lock_waits", string_of_int c.Kdev.lock_waits);
+                ("lock_wait_us", string_of_int c.Kdev.lock_wait_us);
+                ("ipis_sent", string_of_int c.Kdev.ipis_sent);
+                ("ipis_received", string_of_int c.Kdev.ipis_received);
+                ("busy_us", string_of_int c.Kdev.busy_us);
+                ("idle_us", string_of_int c.Kdev.idle_us) ])
+          s.Kdev.per_cpu));
+    ("lock",
+     json_obj
+       [ ("acquisitions", string_of_int s.Kdev.lock_acquisitions);
+         ("contended", string_of_int s.Kdev.lock_contended);
+         ("wait_us", string_of_int s.Kdev.lock_wait_total_us) ]);
+    ("ipis", string_of_int s.Kdev.ipis) ]
+
+let json_of_san san =
+  json_obj
+    [ ("counters",
+       json_obj
+         (List.map (fun (k, v) -> (k, string_of_int v)) (San.counters san)));
+      ("report_count", string_of_int (San.report_count san));
+      ("reports",
+       json_arr
+         (List.map
+            (fun (r : San.report) ->
+              json_obj
+                [ ("kind", json_str (San.kind_name r.San.kind));
+                  ("resource", json_str r.San.resource);
+                  ("cpus",
+                   json_arr (List.map string_of_int r.San.cpus));
+                  ("missing", json_str r.San.missing);
+                  ("detail", json_str r.San.detail);
+                  ("occurrences", string_of_int r.San.occurrences) ])
+            (San.reports san))) ]
+
+(* The self-contained receive scenario behind [smp] and [san]: one host
+   with [cpus] CPUs, one port per generated flow, NIC receive-side
+   steering hashing each frame's flow-cache key to a CPU. [with_san]
+   attaches a checker before any traffic; [mutate] additionally
+   reinstalls the first flow's filter mid-run and replays the sequence —
+   the acceptor-changing reconfiguration the coherence checker watches. *)
+let run_smp_scenario ~cpus ~packets ~flows ~seed ~with_san ~mutate () =
+  let engine = Pf_sim.Engine.create () in
+  let link = Pf_net.Link.create engine Pf_net.Frame.Dix10 ~rate_mbit:10. () in
+  let host =
+    Khost.create ~ncpus:cpus link ~name:"rx" ~addr:(Pf_net.Addr.eth_host 2)
+  in
+  let san =
+    if with_san then begin
+      let s = San.create ~stats:(Khost.stats host) ~ncpus:cpus () in
+      Khost.attach_san host s;
+      Some s
+    end
+    else None
+  in
+  let pf = Khost.pf host in
+  let gen = Tgen.make ~seed ~flows ~skew:(Tgen.Zipf 1.2) () in
+  let first_port = ref None in
+  for i = flows - 1 downto 0 do
+    let p = Kdev.open_port pf in
+    (match Kdev.set_filter p (Tgen.filter (Tgen.flow gen i)) with
+    | Ok () -> ()
+    | Error e ->
+      Format.eprintf "pftool: install: %a@." Kdev.pp_install_error e;
+      exit 2);
+    Kdev.set_queue_limit p packets;
+    if i = 0 then first_port := Some p
+  done;
+  Pf_sim.Engine.run engine;
+  let seq = Tgen.sequence gen packets in
+  List.iter (fun flow -> Khost.inject host (Tgen.frame flow)) seq;
+  Pf_sim.Engine.run engine;
+  if mutate then begin
+    (match !first_port with
+    | Some p ->
+      (match Kdev.set_filter p (Tgen.filter ~priority:1 (Tgen.flow gen 0)) with
+      | Ok () -> ()
+      | Error e ->
+        Format.eprintf "pftool: reinstall: %a@." Kdev.pp_install_error e;
+        exit 2)
+    | None -> ());
+    Pf_sim.Engine.run engine;
+    List.iter (fun flow -> Khost.inject host (Tgen.frame flow)) seq;
+    Pf_sim.Engine.run engine
+  end;
+  (host, pf, san)
+
 let smp_cmd =
   let cpus =
     Arg.(value & opt int 4
@@ -823,81 +927,53 @@ let smp_cmd =
     Arg.(value & opt int 0x5EED
          & info [ "seed" ] ~docv:"SEED" ~doc:"Traffic generator seed (replayable).")
   in
+  let san =
+    Arg.(value & flag
+         & info [ "san" ]
+             ~doc:"Attach the concurrency sanitizer (Pfsan) to the run and \
+                   report its pf.san.* counters and any violations.")
+  in
   let json =
     Arg.(value & flag
          & info [ "json" ]
              ~doc:"Emit one JSON document on stdout instead of text, for CI \
                    and downstream tooling.")
   in
-  let run cpus packets flows seed json =
+  let run cpus packets flows seed san json =
     if cpus < 1 then begin
       Printf.eprintf "pftool: --cpus must be >= 1\n";
       exit 2
     end;
-    (* A self-contained receive simulation: one host with [cpus] CPUs, one
-       port per generated flow, NIC receive-side steering hashing each
-       frame's flow-cache key to a CPU — then the per-CPU counters. *)
-    let module Gen = Pf_monitor.Traffic.Gen in
-    let module Host = Pf_kernel.Host in
-    let module Pfdev = Pf_kernel.Pfdev in
-    let engine = Pf_sim.Engine.create () in
-    let link = Pf_net.Link.create engine Pf_net.Frame.Dix10 ~rate_mbit:10. () in
-    let host =
-      Host.create ~ncpus:cpus link ~name:"rx" ~addr:(Pf_net.Addr.eth_host 2)
+    let _host, pf, checker =
+      run_smp_scenario ~cpus ~packets ~flows ~seed ~with_san:san ~mutate:false ()
     in
-    let pf = Host.pf host in
-    let gen = Gen.make ~seed ~flows ~skew:(Gen.Zipf 1.2) () in
-    for i = flows - 1 downto 0 do
-      let p = Pfdev.open_port pf in
-      (match Pfdev.set_filter p (Gen.filter (Gen.flow gen i)) with
-      | Ok () -> ()
-      | Error e ->
-        Format.eprintf "pftool: install: %a@." Pfdev.pp_install_error e;
-        exit 2);
-      Pfdev.set_queue_limit p packets
-    done;
-    Pf_sim.Engine.run engine;
-    List.iter (fun flow -> Host.inject host (Gen.frame flow))
-      (Gen.sequence gen packets);
-    Pf_sim.Engine.run engine;
-    let s = Pfdev.smp_stats pf in
+    let s = Kdev.smp_stats pf in
     if json then begin
       print_string
         (json_obj
-           [ ("cpus", string_of_int s.Pfdev.ncpus);
-             ("packets", string_of_int packets);
-             ("flows", string_of_int flows);
-             ("seed", string_of_int seed);
-             ("per_cpu",
-              json_arr
-                (List.map
-                   (fun (c : Pfdev.smp_cpu_stats) ->
-                     json_obj
-                       [ ("cpu", string_of_int c.Pfdev.cpu);
-                         ("packets", string_of_int c.Pfdev.packets);
-                         ("cache_hits", string_of_int c.Pfdev.cache_hits);
-                         ("cache_misses", string_of_int c.Pfdev.cache_misses);
-                         ("lock_waits", string_of_int c.Pfdev.lock_waits);
-                         ("lock_wait_us", string_of_int c.Pfdev.lock_wait_us);
-                         ("ipis_sent", string_of_int c.Pfdev.ipis_sent);
-                         ("ipis_received", string_of_int c.Pfdev.ipis_received);
-                         ("busy_us", string_of_int c.Pfdev.busy_us);
-                         ("idle_us", string_of_int c.Pfdev.idle_us) ])
-                   s.Pfdev.per_cpu));
-             ("lock",
-              json_obj
-                [ ("acquisitions", string_of_int s.Pfdev.lock_acquisitions);
-                  ("contended", string_of_int s.Pfdev.lock_contended);
-                  ("wait_us", string_of_int s.Pfdev.lock_wait_total_us) ]);
-             ("ipis", string_of_int s.Pfdev.ipis) ]);
+           ([ ("cpus", string_of_int s.Kdev.ncpus);
+              ("packets", string_of_int packets);
+              ("flows", string_of_int flows);
+              ("seed", string_of_int seed) ]
+           @ smp_stats_fields s
+           @
+           match checker with
+           | Some c -> [ ("san", json_of_san c) ]
+           | None -> []));
       print_newline ()
     end
     else begin
       Printf.printf
         "%d packets over %d flows (Zipf 1.2, seed %#x) steered across %d CPU(s)\n"
         packets flows seed cpus;
-      Format.printf "%a@." Pfdev.pp_smp_stats s
-    end
+      Format.printf "%a@." Kdev.pp_smp_stats s;
+      match checker with
+      | Some c -> Format.printf "%a@." San.pp c
+      | None -> ()
+    end;
+    match checker with
+    | Some c when San.reports c <> [] -> exit 1
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "smp"
@@ -905,7 +981,213 @@ let smp_cmd =
          "Simulate receive-side steering of a seeded flow mix across N \
           CPUs and report the per-CPU counters: packets steered, private \
           flow-cache hits, delivery-lock contention, and invalidation IPIs")
-    Term.(const run $ cpus $ packets $ flows $ seed $ json)
+    Term.(const run $ cpus $ packets $ flows $ seed $ san $ json)
+
+(* {1 The concurrency sanitizer: dynamic checker and static lint} *)
+
+let san_mutants =
+  [ ("skip-remote-invalidation", Kdev.For_testing.skip_remote_invalidation);
+    ("skip-install-invalidation", Kdev.For_testing.skip_install_invalidation);
+    ("skip-delivery-lock", Kdev.For_testing.skip_delivery_lock) ]
+
+let san_cmd =
+  let cpus =
+    Arg.(value & opt int 4
+         & info [ "cpus" ] ~docv:"N" ~doc:"CPUs in the simulated receive complex.")
+  in
+  let packets =
+    Arg.(value & opt int 400
+         & info [ "packets" ] ~docv:"N"
+             ~doc:"Packets per pass (the sequence is replayed after the \
+                   mid-run reconfiguration).")
+  in
+  let flows =
+    Arg.(value & opt int 32
+         & info [ "flows" ] ~docv:"N" ~doc:"Flows in the generated mix.")
+  in
+  let seed =
+    Arg.(value & opt int 0x5EED
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Traffic generator seed (replayable).")
+  in
+  let mutant =
+    Arg.(value & opt (some string) None
+         & info [ "mutant" ] ~docv:"NAME"
+             ~doc:"Enable a seeded concurrency bug for the run \
+                   (skip-remote-invalidation, skip-install-invalidation, \
+                   skip-delivery-lock): the sanitizer is expected to \
+                   report it, and exit status 1 means it did.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit one JSON document on stdout instead of text, for CI \
+                   and downstream tooling.")
+  in
+  let run cpus packets flows seed mutant json =
+    if cpus < 1 then begin
+      Printf.eprintf "pftool: --cpus must be >= 1\n";
+      exit 2
+    end;
+    let flag =
+      match mutant with
+      | None -> None
+      | Some name -> (
+          match List.assoc_opt name san_mutants with
+          | Some f -> Some f
+          | None ->
+            Printf.eprintf "pftool: unknown mutant %S (expected one of: %s)\n"
+              name
+              (String.concat ", " (List.map fst san_mutants));
+            exit 2)
+    in
+    Option.iter (fun f -> f := true) flag;
+    let _host, pf, checker =
+      Fun.protect
+        ~finally:(fun () -> Option.iter (fun f -> f := false) flag)
+        (fun () ->
+          run_smp_scenario ~cpus ~packets ~flows ~seed ~with_san:true
+            ~mutate:true ())
+    in
+    let san = Option.get checker in
+    let s = Kdev.smp_stats pf in
+    if json then begin
+      print_string
+        (json_obj
+           ([ ("cpus", string_of_int s.Kdev.ncpus);
+              ("packets", string_of_int packets);
+              ("flows", string_of_int flows);
+              ("seed", string_of_int seed);
+              ("mutant",
+               match mutant with
+               | Some m -> json_str m
+               | None -> json_str "none") ]
+           @ smp_stats_fields s
+           @ [ ("san", json_of_san san) ]));
+      print_newline ()
+    end
+    else begin
+      Printf.printf
+        "%d packets x2 over %d flows (Zipf 1.2, seed %#x) across %d CPU(s), \
+         one mid-run reconfiguration%s\n"
+        packets flows seed cpus
+        (match mutant with Some m -> ", mutant " ^ m | None -> "");
+      Format.printf "%a@." San.pp san
+    end;
+    if San.reports san <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "san"
+       ~doc:
+         "Run a steered receive scenario with the Pfsan concurrency \
+          sanitizer attached — Eraser-style locksets, per-CPU vector \
+          clocks, and the flow-cache coherence protocol checker — and \
+          report any violations (exit status 1 if there were any)")
+    Term.(const run $ cpus $ packets $ flows $ seed $ mutant $ json)
+
+let sanlint_cmd =
+  let demo =
+    Arg.(value & flag
+         & info [ "demo" ]
+             ~doc:"Lint a synthetic registry seeded with one finding of \
+                   each kind instead of the real kernel's declarations.")
+  in
+  let cpus =
+    Arg.(value & opt int 4
+         & info [ "cpus" ] ~docv:"N"
+             ~doc:"CPUs the linted registry is declared for.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit one JSON document on stdout instead of text, for CI \
+                   and downstream tooling.")
+  in
+  let run demo cpus json =
+    if cpus < 1 then begin
+      Printf.eprintf "pftool: --cpus must be >= 1\n";
+      exit 2
+    end;
+    let san, what =
+      if demo then begin
+        (* A registry holding one of each lint finding: a per-CPU object
+           reached from the wrong CPU, a guarded object with a lockless
+           access site, and a site acquiring against the declared order. *)
+        let san = San.create ~ncpus:(max cpus 2) () in
+        let priv = San.register san ~name:"demo.percpu" ~discipline:(San.Cpu_private 0) in
+        San.declare_site san ~site:"demo.remote_peek" ~ctx:(San.On_cpu 1)
+          ~locks:[] ~rw:`Write priv;
+        let shared = San.register san ~name:"demo.table" ~discipline:(San.Guarded_by "giant") in
+        San.declare_lock san "giant";
+        San.declare_site san ~site:"demo.locked_update" ~ctx:(San.On_cpu 0)
+          ~locks:[ "giant" ] ~rw:`Write shared;
+        San.declare_site san ~site:"demo.lockless_read" ~ctx:(San.On_cpu 1)
+          ~locks:[] ~rw:`Read shared;
+        San.declare_lock san "a";
+        San.declare_lock san "b";
+        San.declare_lock_order san ~before:"a" ~after:"b";
+        let guarded = San.register san ~name:"demo.nested" ~discipline:(San.Guarded_by "b") in
+        San.declare_site san ~site:"demo.inverted_nesting" ~ctx:San.Boot
+          ~locks:[ "b"; "a" ] ~rw:`Write guarded;
+        (san, "demo registry")
+      end
+      else begin
+        (* The real kernel's declarations: attach a sanitizer to a live
+           host (no traffic needed — the lint is static) and walk the
+           registry Pfdev and Host declare. *)
+        let engine = Pf_sim.Engine.create () in
+        let link =
+          Pf_net.Link.create engine Pf_net.Frame.Dix10 ~rate_mbit:10. ()
+        in
+        let host =
+          Khost.create ~ncpus:cpus link ~name:"rx" ~addr:(Pf_net.Addr.eth_host 2)
+        in
+        let san = San.create ~ncpus:cpus () in
+        Khost.attach_san host san;
+        (san, Printf.sprintf "kernel registry (%d CPUs)" cpus)
+      end
+    in
+    let findings = San.Lint.run san in
+    if json then begin
+      print_string
+        (json_obj
+           [ ("registry",
+              json_arr
+                (List.map
+                   (fun (name, d) ->
+                     json_obj
+                       [ ("resource", json_str name);
+                         ("discipline",
+                          json_str (Format.asprintf "%a" San.pp_discipline d)) ])
+                   (San.registry san)));
+             ("findings",
+              json_arr
+                (List.map
+                   (fun (f : San.Lint.finding) ->
+                     json_obj
+                       [ ("kind", json_str (San.Lint.kind_name f));
+                         ("subject", json_str f.San.Lint.subject);
+                         ("detail", json_str f.San.Lint.detail) ])
+                   findings)) ]);
+      print_newline ()
+    end
+    else begin
+      Printf.printf "sanlint: %s, %d resource(s), %d finding(s)\n" what
+        (List.length (San.registry san))
+        (List.length findings);
+      List.iter
+        (fun f -> Format.printf "%a@." San.Lint.pp_finding f)
+        findings
+    end;
+    if findings <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "sanlint"
+       ~doc:
+         "Statically lint the kernel's declared locking disciplines: \
+          undeclared sharing of per-CPU objects, access sites missing the \
+          declared guard, and lock-order inversions against the intended \
+          DAG — no traffic is run")
+    Term.(const run $ demo $ cpus $ json)
 
 (* {1 Firewall rule tables} *)
 
@@ -1280,5 +1562,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ asm_cmd; disasm_cmd; run_cmd; compile_cmd; fields_cmd; examples_cmd; lint_cmd;
-            cache_cmd; dispatch_cmd; smp_cmd; ir_cmd; superopt_cmd; equiv_cmd;
-            verify_cmd; fwcompile_cmd; fwlint_cmd ]))
+            cache_cmd; dispatch_cmd; smp_cmd; san_cmd; sanlint_cmd; ir_cmd;
+            superopt_cmd; equiv_cmd; verify_cmd; fwcompile_cmd; fwlint_cmd ]))

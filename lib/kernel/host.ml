@@ -1,6 +1,7 @@
 module Engine = Pf_sim.Engine
 module Cpu = Pf_sim.Cpu
 module Smp = Pf_sim.Smp
+module San = Pf_sim.San
 module Costs = Pf_sim.Costs
 module Stats = Pf_sim.Stats
 module Process = Pf_sim.Process
@@ -16,6 +17,8 @@ type t = {
   pf : Pfdev.t;
   mutable extra_interfaces : (Pf_net.Nic.t * Pfdev.t) list; (* beyond the primary *)
   mutable protocols : (int * (Pf_pkt.Packet.t -> unit)) list;
+  mutable san_protocols : (San.t * San.resource) option;
+      (* the protocol-dispatch table as a sanitized shared resource *)
 }
 
 let name t = t.name
@@ -44,6 +47,12 @@ let rx t nic pf ~cpu:cpu_id frame =
       ~cost:t.costs.Costs.recv_interrupt
   in
   Engine.schedule t.engine ~at:finish (fun () ->
+      (* The type-field dispatch reads the host-wide protocol table on the
+         receive CPU; the demux-side instrumentation carries the modeled
+         cost, this read only feeds the checker. *)
+      (match t.san_protocols with
+      | Some (san, res) -> San.read san ~cpu:cpu_id res
+      | None -> ());
       let ethertype =
         Option.map (fun (h : Pf_net.Frame.header) -> h.ethertype)
           (Pf_net.Frame.header (Pf_net.Nic.variant nic) frame)
@@ -98,10 +107,29 @@ let create ?(costs = Costs.microvax_ii) ?ncpus link ~name ~addr =
       pf;
       extra_interfaces = [];
       protocols = [];
+      san_protocols = None;
     }
   in
   wire_rx t nic pf;
   t
+
+(* Attach a concurrency sanitizer to the whole host: the primary packet
+   filter device registers its shared objects ({!Pfdev.attach_san}, which
+   also wires {!Smp.set_san} so lock and IPI edges flow in), and the
+   host-wide protocol-dispatch table joins the registry as an
+   IPI-published resource written only by boot-CPU configuration. *)
+let attach_san t san =
+  Pfdev.attach_san t.pf san;
+  let res =
+    San.register san ~name:"host.protocols" ~discipline:San.Ipi_published
+  in
+  San.declare_site san ~site:"Host.register_protocol" ~ctx:San.Boot ~locks:[]
+    ~rw:`Write res;
+  San.declare_site san ~site:"Host.rx:dispatch" ~ctx:San.Any_cpu ~locks:[]
+    ~rw:`Read res;
+  t.san_protocols <- Some (san, res)
+
+let san t = Pfdev.san t.pf
 
 let add_interface t link ~addr =
   let nic = Pf_net.Nic.create link ~addr in
@@ -128,10 +156,28 @@ let join_multicast t group = Pf_net.Nic.join_multicast t.nic group
 
 let spawn t ~name body = Process.spawn t.engine (cpu t) ~name body
 
-let register_protocol t ~ethertype handler =
-  t.protocols <- (ethertype, handler) :: List.remove_assoc ethertype t.protocols
+(* Registration is a boot-CPU configuration action; in a real kernel it
+   completes (with the table write globally visible) before any frame of
+   the new type can be dispatched. Model that visibility barrier as
+   explicit publication edges to every CPU — without them, a remote
+   receive CPU's table read would look unordered after the write. *)
+let san_protocols_write t =
+  match t.san_protocols with
+  | None -> ()
+  | Some (san, res) ->
+    San.write san ~cpu:0 res;
+    for k = 1 to Smp.ncpus t.smp - 1 do
+      let m = San.ipi_send san ~src:0 in
+      San.ipi_receive san ~dst:k m
+    done
 
-let unregister_protocol t ~ethertype = t.protocols <- List.remove_assoc ethertype t.protocols
+let register_protocol t ~ethertype handler =
+  t.protocols <- (ethertype, handler) :: List.remove_assoc ethertype t.protocols;
+  san_protocols_write t
+
+let unregister_protocol t ~ethertype =
+  t.protocols <- List.remove_assoc ethertype t.protocols;
+  san_protocols_write t
 
 let in_kernel t ~cost k =
   let finish = Cpu.run (cpu t) ~owner:`Interrupt ~start:(Engine.now t.engine) ~cost in

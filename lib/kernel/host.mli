@@ -46,6 +46,15 @@ val pf : t -> Pfdev.t
 (** The packet filter device of the primary interface (like ULTRIX's
     /dev/pf0: one pseudodevice unit per interface). *)
 
+val attach_san : t -> Pf_sim.San.t -> unit
+(** Attach a concurrency sanitizer to the host: the primary device's
+    shared objects ({!Pfdev.attach_san}) plus the host-wide
+    protocol-dispatch table. The sanitizer must have been created with the
+    host's CPU count. Attach before traffic; attaching never changes
+    verdicts, event order, or any legacy counter. *)
+
+val san : t -> Pf_sim.San.t option
+
 val add_interface : t -> Pf_net.Link.t -> addr:Pf_net.Addr.t -> Pf_net.Nic.t * Pfdev.t
 (** Attach another interface (a gateway machine sits on two networks); it
     gets its own packet filter unit, like /dev/pf1. Kernel protocol

@@ -2,6 +2,7 @@ module Packet = Pf_pkt.Packet
 module Engine = Pf_sim.Engine
 module Cpu = Pf_sim.Cpu
 module Smp = Pf_sim.Smp
+module San = Pf_sim.San
 module Costs = Pf_sim.Costs
 module Stats = Pf_sim.Stats
 module Process = Pf_sim.Process
@@ -80,6 +81,20 @@ and t = {
   smp_packets : int array; (* demuxed packets per CPU *)
   smp_lock_waits : int array; (* contended delivery-lock acquisitions per CPU *)
   smp_lock_wait_us : int array; (* spin time per CPU *)
+  mutable san : san_handles option; (* concurrency sanitizer, when attached *)
+}
+
+(* The sanitizer's view of this device: every shared object registered with
+   its locking discipline. Absent (the default), instrumentation is dead
+   code with zero cost — which is what keeps every legacy counter and the
+   1-CPU parity gate byte-identical. *)
+and san_handles = {
+  checker : San.t;
+  res_queue : San.resource; (* shared port queues, guarded by delivery_lock *)
+  res_table : San.resource; (* the port/filter table, published by IPI *)
+  res_cache : San.resource array; (* per-CPU private flow caches *)
+  res_dispatch : San.resource array; (* per-CPU private dispatch automata *)
+  res_statword : San.resource array; (* per-CPU demux counters *)
 }
 
 (* The cross-filter dispatch automaton ({!Pf_filter.Dispatch}), rebuilt
@@ -160,10 +175,11 @@ let create_smp engine smp costs stats ~variant ~address ~send =
     cache_capacity = 256;
     key_state = Dirty;
     caches = Array.init n (fun _ -> fresh_cache ());
-    delivery_lock = Smp.Lock.create smp;
+    delivery_lock = Smp.Lock.create ~name:"delivery_lock" smp;
     smp_packets = Array.make n 0;
     smp_lock_waits = Array.make n 0;
     smp_lock_wait_us = Array.make n 0;
+    san = None;
   }
 
 let create engine cpu costs stats ~variant ~address ~send =
@@ -185,9 +201,99 @@ module For_testing = struct
      entries stored under the old filter set. The differential suite flips
      this to prove the oracle catches stale remote decisions. *)
   let skip_remote_invalidation = ref false
+
+  (* When set, the demux delivery path inserts into the shared port queues
+     without taking the delivery lock — the skip-lock-around-queue-insert
+     bug. The lock is pure cost accounting to the differential oracle
+     (verdicts never change), so only the concurrency sanitizer can catch
+     this one: the delivery queue's candidate lockset goes empty as soon as
+     two CPUs both deliver. *)
+  let skip_delivery_lock = ref false
 end
 
+let san t = Option.map (fun h -> h.checker) t.san
+
+(* Declare the device's shared objects, their disciplines, and every access
+   site to a sanitizer, and start instrumenting. The declarations double as
+   the static lint's input: `pftool sanlint` checks them against each
+   other and the lock-order DAG without running any traffic. *)
+let attach_san t san =
+  if San.ncpus san <> Smp.ncpus t.smp then
+    invalid_arg "Pfdev.attach_san: sanitizer and device disagree on ncpus";
+  Smp.set_san t.smp san;
+  let n = Smp.ncpus t.smp in
+  San.declare_lock san (Smp.Lock.name t.delivery_lock);
+  let res_queue =
+    San.register san ~name:"pfdev.delivery_queue"
+      ~discipline:(San.Guarded_by (Smp.Lock.name t.delivery_lock))
+  in
+  let res_table =
+    San.register san ~name:"pfdev.port_table" ~discipline:San.Ipi_published
+  in
+  let res_cache =
+    Array.init n (fun k ->
+        San.register san
+          ~name:(Printf.sprintf "pfdev.flow_cache.cpu%d" k)
+          ~discipline:(San.Cpu_private k))
+  in
+  let res_dispatch =
+    Array.init n (fun k ->
+        San.register san
+          ~name:(Printf.sprintf "pfdev.dispatch.cpu%d" k)
+          ~discipline:(San.Cpu_private k))
+  in
+  let res_statword =
+    Array.init n (fun k ->
+        San.register san
+          ~name:(Printf.sprintf "pfdev.smp_stats.cpu%d" k)
+          ~discipline:(San.Cpu_private k))
+  in
+  let lock = Smp.Lock.name t.delivery_lock in
+  San.declare_site san ~site:"Pfdev.demux:deliver" ~ctx:San.Any_cpu
+    ~locks:[ lock ] ~rw:`Write res_queue;
+  San.declare_site san ~site:"Pfdev.locked_dequeue" ~ctx:San.Boot
+    ~locks:[ lock ] ~rw:`Write res_queue;
+  San.declare_site san ~site:"Pfdev.demux:classify" ~ctx:San.Any_cpu ~locks:[]
+    ~rw:`Read res_table;
+  San.declare_site san ~site:"Pfdev.install" ~ctx:San.Boot ~locks:[]
+    ~rw:`Write res_table;
+  San.declare_site san ~site:"Pfdev.maybe_reorder" ~ctx:San.Any_cpu ~locks:[]
+    ~rw:`Write res_table;
+  Array.iteri
+    (fun k r ->
+      San.declare_site san ~site:"Pfdev.demux:cache" ~ctx:(San.On_cpu k)
+        ~locks:[] ~rw:`Write r)
+    res_cache;
+  Array.iteri
+    (fun k r ->
+      San.declare_site san ~site:"Pfdev.invalidate_cache:flush"
+        ~ctx:(San.On_cpu k) ~locks:[] ~rw:`Write r)
+    res_cache;
+  Array.iteri
+    (fun k r ->
+      San.declare_site san ~site:"Pfdev.demux:dispatch" ~ctx:(San.On_cpu k)
+        ~locks:[] ~rw:`Write r)
+    res_dispatch;
+  Array.iteri
+    (fun k r ->
+      San.declare_site san ~site:"Pfdev.demux:counters" ~ctx:(San.On_cpu k)
+        ~locks:[] ~rw:`Write r)
+    res_statword;
+  t.san <-
+    Some { checker = san; res_queue; res_table; res_cache; res_dispatch; res_statword }
+
+(* A real mutation of the port table, for the sanitizer's happens-before
+   tracking. (Distinct from [invalidate_cache], which also covers
+   mutations of cache {e policy} that touch no table state.) *)
+let san_table_write ?(cpu = 0) t =
+  match t.san with
+  | Some h -> San.write h.checker ~cpu h.res_table
+  | None -> ()
+
 let invalidate_cache ?(cpu = 0) t =
+  (* An acceptor-changing mutation: tell the protocol checker a new
+     configuration epoch begins now, before any CPU syncs to it. *)
+  (match t.san with Some h -> San.publish h.checker ~cpu h.res_table | None -> ());
   (* The dispatch automaton is sound under exactly the invariants the flow
      cache is, so the two share one invalidation set. *)
   let flush_one k =
@@ -198,7 +304,15 @@ let invalidate_cache ?(cpu = 0) t =
       Hashtbl.reset c.table;
       Queue.clear c.fifo
     end;
-    c.invalidations <- c.invalidations + 1
+    c.invalidations <- c.invalidations + 1;
+    match t.san with
+    | Some h ->
+      (* The flush runs in CPU [k]'s logical context (its shootdown
+         handler); observing it is what syncs [k] to the new epoch. *)
+      San.write h.checker ~cpu:k h.res_cache.(k);
+      San.write h.checker ~cpu:k h.res_dispatch.(k);
+      San.sync h.checker ~cpu:k h.res_table
+    | None -> ()
   in
   if !For_testing.skip_remote_invalidation then flush_one cpu
   else begin
@@ -252,7 +366,10 @@ let maybe_reorder ?cpu t =
     (* Reordering equal-priority overlapping filters can change which port
        wins a packet, so any cached decision taken under the old order is
        stale. *)
-    if List.map (fun p -> p.id) t.ports <> before then invalidate_cache ?cpu t
+    if List.map (fun p -> p.id) t.ports <> before then begin
+      san_table_write ?cpu t;
+      invalidate_cache ?cpu t
+    end
   end
 
 (* Charge CPU when called from process context; plain setup code (before the
@@ -291,6 +408,7 @@ let open_port t =
     }
   in
   insert_port t port;
+  san_table_write t;
   invalidate_cache t;
   port
 
@@ -298,6 +416,7 @@ let close_port port =
   port.is_open <- false;
   port.dev.ports <- List.filter (fun p -> p.id <> port.id) port.dev.ports;
   port.dev.tree <- None;
+  san_table_write port.dev;
   invalidate_cache port.dev;
   (* Wake any blocked readers; they will notice the port is closed. *)
   ignore (Condition.broadcast port.cond () : int)
@@ -444,7 +563,17 @@ let install port program =
       port.analysis <- Some analysis;
       port.certification <- certification;
       reprioritize t port (Pf_filter.Program.priority program);
-      if not !For_testing.skip_install_invalidation then invalidate_cache t;
+      san_table_write t;
+      if not !For_testing.skip_install_invalidation then invalidate_cache t
+      else begin
+        (* The buggy kernel still mutated the acceptor set — the protocol
+           checker must learn the epoch advanced even though no CPU will
+           ever sync to it. That is precisely what lets Pfsan flag this
+           mutant from the trace alone. *)
+        match t.san with
+        | Some h -> San.publish h.checker ~cpu:0 h.res_table
+        | None -> ()
+      end;
       Ok analysis)
 
 let set_filter port program =
@@ -458,6 +587,7 @@ let port_dropped port = port.dropped
 
 let set_priority port priority =
   reprioritize port.dev port priority;
+  san_table_write port.dev;
   invalidate_cache port.dev
 
 let set_strategy t strategy =
@@ -785,6 +915,16 @@ let demux t ?(cpu = 0) ?(kernel_claimed = false) frame =
   let arrival = Engine.now t.engine in
   let cpu_cost = ref 0 in
   let c = t.caches.(cpu) in
+  (* Sanitizer instrumentation. Each instrumented access is a real shadow
+     bookkeeping step on the demuxing CPU, charged at [san_access] — that
+     charge is what `bench smp --san` measures as overhead. Without an
+     attached sanitizer every branch below is dead and free. *)
+  (match t.san with
+  | Some h ->
+    San.write h.checker ~cpu h.res_statword.(cpu);
+    San.read h.checker ~cpu h.res_table;
+    cpu_cost := !cpu_cost + (2 * costs.Costs.san_access)
+  | None -> ());
   (* Probe this CPU's flow cache before any filter interpretation.
      Kernel-claimed packets bypass it: they see a different port subset
      (taps only), so caching their decisions under the same key would be
@@ -809,8 +949,17 @@ let demux t ?(cpu = 0) ?(kernel_claimed = false) frame =
         cpu_cost :=
           !cpu_cost + costs.Costs.cache_probe
           + (Array.length offsets * costs.Costs.cache_hash_word);
+        (match t.san with
+        | Some h ->
+          San.read h.checker ~cpu h.res_cache.(cpu);
+          cpu_cost := !cpu_cost + costs.Costs.san_access
+        | None -> ());
         match Hashtbl.find_opt c.table key with
-        | Some acceptors -> `Hit acceptors
+        | Some acceptors ->
+          (match t.san with
+          | Some h -> San.note_hit h.checker ~cpu h.res_cache.(cpu) ~key
+          | None -> ());
+          `Hit acceptors
         | None -> `Miss (key, c.generation))
     end
   in
@@ -889,6 +1038,11 @@ let demux t ?(cpu = 0) ?(kernel_claimed = false) frame =
            always non-copy-all — takes the packet and stops the walk, exactly
            where the sequential walk would have stopped. *)
         let d = dispatch_of t cpu in
+        (match t.san with
+        | Some h ->
+          San.read h.checker ~cpu h.res_dispatch.(cpu);
+          cpu_cost := !cpu_cost + costs.Costs.san_access
+        | None -> ());
         t.dispatch_classifies <- t.dispatch_classifies + 1;
         Stats.incr t.stats "pf.dispatch.classify";
         let winner, dstats =
@@ -951,7 +1105,13 @@ let demux t ?(cpu = 0) ?(kernel_claimed = false) frame =
             Stats.incr t.stats "pf.cache.eviction"
           | None -> ());
         Hashtbl.replace c.table key acceptors;
-        Queue.push key c.fifo
+        Queue.push key c.fifo;
+        (match t.san with
+        | Some h ->
+          San.write h.checker ~cpu h.res_cache.(cpu);
+          San.note_store h.checker ~cpu h.res_cache.(cpu) ~key;
+          cpu_cost := !cpu_cost + costs.Costs.san_access
+        | None -> ())
       | `Miss _ ->
         c.misses <- c.misses + 1;
         Stats.incr t.stats "pf.cache.miss"
@@ -978,22 +1138,42 @@ let demux t ?(cpu = 0) ?(kernel_claimed = false) frame =
     if not accepted then classify_done
     else begin
       let deliver_cost = ref wake in
-      if n > 1 then begin
-        (* The lock covers only the queue insert (the [lock_acquire]
-           charge); the scheduler wakeup runs after release — holding a
-           spinlock across a wakeup would serialize the whole complex. *)
-        let wait =
-          Smp.Lock.acquire t.delivery_lock ~start:classify_done ~hold:0
-        in
-        deliver_cost := !deliver_cost + wait + costs.Costs.lock_acquire;
-        Stats.incr t.stats "pf.smp.lock_acquire";
-        if wait > 0 then begin
-          t.smp_lock_waits.(cpu) <- t.smp_lock_waits.(cpu) + 1;
-          t.smp_lock_wait_us.(cpu) <- t.smp_lock_wait_us.(cpu) + wait;
-          Stats.incr t.stats "pf.smp.lock_contended";
-          Stats.incr ~by:wait t.stats "pf.smp.lock_wait_us"
+      let san_queue_write () =
+        match t.san with
+        | Some h ->
+          San.write h.checker ~cpu h.res_queue;
+          deliver_cost := !deliver_cost + costs.Costs.san_access
+        | None -> ()
+      in
+      if n > 1 then
+        if !For_testing.skip_delivery_lock then
+          (* The seeded bug: the shared-queue insert runs bare. Verdicts
+             and queue contents are identical (the engine serializes demux
+             events), so only the sanitizer's lockset can see this. *)
+          san_queue_write ()
+        else begin
+          (* The lock covers only the queue insert (the [lock_acquire]
+             charge); the scheduler wakeup runs after release — holding a
+             spinlock across a wakeup would serialize the whole complex. *)
+          let wait =
+            Smp.Lock.acquire ~cpu t.delivery_lock ~start:classify_done ~hold:0
+          in
+          deliver_cost := !deliver_cost + wait + costs.Costs.lock_acquire;
+          Stats.incr t.stats "pf.smp.lock_acquire";
+          if wait > 0 then begin
+            t.smp_lock_waits.(cpu) <- t.smp_lock_waits.(cpu) + 1;
+            t.smp_lock_wait_us.(cpu) <- t.smp_lock_wait_us.(cpu) + wait;
+            Stats.incr t.stats "pf.smp.lock_contended";
+            Stats.incr ~by:wait t.stats "pf.smp.lock_wait_us"
+          end;
+          san_queue_write ();
+          Smp.Lock.release t.delivery_lock ~cpu
         end
-      end;
+      else
+        (* Single CPU: the legacy lock-free delivery. The instrumented
+           write keeps the queue resource in the sanitizer's Exclusive
+           state, so a 1-CPU campaign can never report on it. *)
+        san_queue_write ();
       cpu_cost := !cpu_cost + !deliver_cost;
       Cpu.run cpu_exec ~owner:`Interrupt ~start:classify_done ~cost:!deliver_cost
     end
@@ -1012,8 +1192,30 @@ let demux t ?(cpu = 0) ?(kernel_claimed = false) frame =
 
 let copy_out_cost port bytes = Costs.copy_cost port.dev.costs ~bytes
 
+(* User-side dequeue. On a multi-CPU device the port queues are shared with
+   every demuxing CPU, so the reading process (on the boot CPU) takes the
+   delivery lock around the dequeue; the single-CPU device keeps the legacy
+   lock-free path and its exact cost accounting. *)
+let locked_dequeue port =
+  let t = port.dev in
+  if Smp.ncpus t.smp > 1 then begin
+    let wait =
+      Smp.Lock.acquire ~cpu:0 t.delivery_lock ~start:(Engine.now t.engine)
+        ~hold:0
+    in
+    Process.use_cpu (wait + t.costs.Costs.lock_acquire);
+    Stats.incr t.stats "pf.smp.lock_acquire";
+    let capture = Queue.take_opt port.queue in
+    (match t.san with
+    | Some h -> San.write h.checker ~cpu:0 h.res_queue
+    | None -> ());
+    Smp.Lock.release t.delivery_lock ~cpu:0;
+    capture
+  end
+  else Queue.take_opt port.queue
+
 let rec read_blocking port =
-  match Queue.take_opt port.queue with
+  match locked_dequeue port with
   | Some capture ->
     let copy = copy_out_cost port (Packet.length capture.packet) in
     Process.use_cpu copy;
@@ -1039,7 +1241,7 @@ let read port =
 let rec drain port acc remaining =
   if remaining = 0 then List.rev acc
   else begin
-    match Queue.take_opt port.queue with
+    match locked_dequeue port with
     | Some capture ->
       let copy = copy_out_cost port (Packet.length capture.packet) in
       Process.use_cpu copy;

@@ -44,6 +44,21 @@ val create_smp :
 val ncpus : t -> int
 val smp : t -> Pf_sim.Smp.t
 
+val attach_san : t -> Pf_sim.San.t -> unit
+(** Attach a concurrency sanitizer ({!Pf_sim.San}): registers the device's
+    shared objects with their locking disciplines (the delivery queue
+    guarded by the delivery lock, the port table published by invalidation
+    IPIs, the per-CPU flow caches / dispatch automata / counters private to
+    their CPU), declares every access site for the static lint, and starts
+    routing each shared-state access through the checker. Each instrumented
+    access charges {!Pf_sim.Costs.t.san_access} to the demuxing CPU; with
+    no sanitizer attached the instrumentation is dead code with zero cost
+    and zero allocation, so all legacy accounting is byte-identical.
+    Raises [Invalid_argument] if the sanitizer's CPU count differs from the
+    device's. *)
+
+val san : t -> Pf_sim.San.t option
+
 (** {1 Port lifecycle and control (the open/close/ioctl surface)} *)
 
 val open_port : t -> port
@@ -385,4 +400,11 @@ module For_testing : sig
       from entries stored under the old filter set. Flipped by the
       differential suite to prove the oracle catches stale remote
       decisions; never set it outside tests. *)
+
+  val skip_delivery_lock : bool ref
+  (** When set, {!demux} inserts into the shared port queues without taking
+      the delivery lock. Verdicts and queue contents never change (the
+      simulator serializes demux events), so the differential oracle is
+      blind to this one — it exists to prove the concurrency sanitizer's
+      lockset checker catches it. Never set it outside tests. *)
 end

@@ -25,6 +25,7 @@ type t = {
   ipi_send : Time.t;
   ipi_receive : Time.t;
   ipi_latency : Time.t;
+  san_access : Time.t;
 }
 
 let microvax_ii =
@@ -55,6 +56,7 @@ let microvax_ii =
     ipi_send = 60;
     ipi_receive = 150;
     ipi_latency = 20;
+    san_access = 4;
   }
 
 let scale f t =
@@ -86,6 +88,7 @@ let scale f t =
     ipi_send = s t.ipi_send;
     ipi_receive = s t.ipi_receive;
     ipi_latency = s t.ipi_latency;
+    san_access = s t.san_access;
   }
 
 let vax_780 = { microvax_ii with timestamp = 70 }

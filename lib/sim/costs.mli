@@ -77,6 +77,12 @@ type t = {
   ipi_latency : Time.t;
       (** bus propagation delay between doorbell strobe and the target CPU
           taking the interrupt *)
+  san_access : Time.t;
+      (** concurrency-sanitizer bookkeeping charged per instrumented
+          shared-state access when a {!San.t} is attached: a shadow-word
+          load, a vector-clock component bump, and a compare — the modeled
+          analogue of a TSan shadow-cell update. Zero cost when no
+          sanitizer is attached *)
 }
 
 val microvax_ii : t

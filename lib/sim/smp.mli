@@ -39,20 +39,51 @@ val ipis_sent : t -> int -> int
 val ipis_received : t -> int -> int
 val total_ipis : t -> int
 
+val set_san : t -> San.t -> unit
+(** Attach a concurrency sanitizer: every subsequent {!ipi} carries a
+    happens-before token from sender to receiver, and every
+    {!Lock.acquire}/{!Lock.release} advances the acquiring CPU's vector
+    clock. Attaching never changes costs, event order, or counters. *)
+
+val san : t -> San.t option
+
 (** A costed spinlock: models the virtual time a CPU burns spinning on a
     lock word another CPU holds. The simulation is single-threaded, so the
-    lock serializes nothing for real — it only accounts contention. *)
+    lock serializes nothing for real — it only accounts contention.
+
+    The lock model additionally tracks {e logical} ownership (which CPU
+    holds the lock between acquire and release) purely for misuse
+    detection: reentrant acquire, double release, and release by a
+    non-owner are recorded in {!misuses} and reported to an attached
+    {!San.t}, without ever perturbing the time accounting. *)
 module Lock : sig
   type lock
 
-  val create : t -> lock
+  type misuse =
+    | Reentrant_acquire of int  (** acquiring CPU already held the lock *)
+    | Double_release of int  (** released while nobody held it *)
+    | Release_by_non_owner of { cpu : int; owner : int }
 
-  val acquire : lock -> start:Time.t -> hold:Time.t -> Time.t
+  val create : ?name:string -> t -> lock
+  (** [name] (default ["lock"]) identifies the lock in sanitizer reports
+      and lockset tracking. *)
+
+  val name : lock -> string
+
+  val acquire : ?cpu:int -> lock -> start:Time.t -> hold:Time.t -> Time.t
   (** [acquire l ~start ~hold] acquires at virtual time [start], holding
       the lock for [Costs.lock_acquire + hold] once granted. Returns the
       {e wait}: how long the acquiring CPU spun before the grant (0 when
       uncontended). The caller charges [wait + Costs.lock_acquire + hold]
-      to its own CPU — the spin burns the acquirer's cycles. *)
+      to its own CPU — the spin burns the acquirer's cycles. [cpu]
+      (default 0) is the acquiring CPU, used only for ownership tracking
+      and sanitizer edges. *)
+
+  val release : lock -> cpu:int -> unit
+  (** Logical release by [cpu]. Purely bookkeeping — the virtual-time hold
+      was already fixed by {!acquire}'s [hold] — but it closes the
+      ownership window, checks for double release / release by non-owner,
+      and emits the sanitizer's release edge. *)
 
   val acquisitions : lock -> int
   val contended : lock -> int
@@ -60,6 +91,12 @@ module Lock : sig
 
   val wait_time : lock -> Time.t
   (** Total virtual time spent spinning. *)
+
+  val misuses : lock -> misuse list
+  (** Detected misuses in detection order. *)
+
+  val misuse_name : misuse -> string
+  val pp_misuse : Format.formatter -> misuse -> unit
 end
 
 type lock = Lock.lock
